@@ -1,0 +1,77 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the same logic program on Lobster and on the relevant baselines, prints
+rows shaped like the paper's, and asserts the *shape* of the result (who
+wins, roughly by how much) rather than absolute numbers — our substrate
+is a simulator, not the authors' testbed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DeviceOutOfMemory, EvaluationTimeout
+
+
+@dataclass
+class Measurement:
+    seconds: float | None
+    status: str = "ok"  # ok | oom | timeout
+
+    @property
+    def label(self) -> str:
+        if self.status == "oom":
+            return "OOM"
+        if self.status == "timeout":
+            return "timeout"
+        return f"{self.seconds:.3f}s"
+
+
+def timed(fn) -> Measurement:
+    """Run ``fn`` once, mapping OOM/timeout to status labels."""
+    start = time.perf_counter()
+    try:
+        fn()
+    except DeviceOutOfMemory:
+        return Measurement(None, "oom")
+    except EvaluationTimeout:
+        return Measurement(None, "timeout")
+    return Measurement(time.perf_counter() - start)
+
+
+def speedup(baseline: Measurement, ours: Measurement) -> str:
+    if baseline.status != "ok" or ours.status != "ok" or ours.seconds == 0:
+        return "-"
+    return f"{baseline.seconds / ours.seconds:.2f}x"
+
+
+def record(benchmark, fn) -> None:
+    """Run a figure's table-printing + shape assertions under the
+    pytest-benchmark fixture, so the figure tests execute (and print their
+    paper-shaped tables) in ``--benchmark-only`` mode.  The heavy
+    measurement happens in module-scoped fixtures; the recorded time is
+    the check itself."""
+    benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: Paper-shaped tables are also appended here, so they survive pytest's
+#: output capture when running without ``-s``.
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    print(text)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(text)

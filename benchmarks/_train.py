@@ -1,0 +1,88 @@
+"""Training-loop helpers shared by the Fig. 3/8 benchmarks.
+
+Both engines train the same model with the same losses; only the symbolic
+layer differs.  For Lobster the gradient comes from the differentiable
+provenance (`engine.backward`); for the Scallop baseline it is computed
+from the scalar top-1 proof tags — the product rule over the proof's
+members, i.e. the same mathematics Scallop's diff provenances implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LobsterEngine
+from repro.baselines import ScallopDatabase, ScallopInterpreter
+
+
+def bce_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    eps = 1e-7
+    clipped = np.clip(pred, eps, 1 - eps)
+    return (clipped - target) / (clipped * (1 - clipped)) / max(len(pred), 1)
+
+
+def scallop_output_and_backward(
+    database: ScallopDatabase,
+    relation: str,
+    output_rows: list[tuple],
+    grad_out: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward probabilities + input-fact gradients from scalar top-1 tags."""
+    probs_in = database.provenance.input_probs
+    outputs = np.zeros(len(output_rows))
+    grad_in = np.zeros(len(probs_in))
+    store = database.rows(relation)
+    for index, row in enumerate(output_rows):
+        tag = store.get(tuple(row))
+        if not tag:
+            continue
+        proof = max(tag, key=lambda p: float(np.prod(probs_in[list(p)])) if p else 1.0)
+        members = sorted(proof)
+        prob = float(np.prod(probs_in[members])) if members else 1.0
+        outputs[index] = prob
+        for member in members:
+            others = [m for m in members if m != member]
+            partial = float(np.prod(probs_in[others])) if others else 1.0
+            grad_in[member] += grad_out[index] * partial
+    return outputs, grad_in
+
+
+def lobster_train_step(engine: LobsterEngine, populate, relation, probs):
+    """One symbolic forward+backward on the device engine.
+
+    All derived facts of ``relation`` are pushed toward probability 1 (the
+    paper's yes/no supervision).  Returns the gradient w.r.t. ``probs``.
+    """
+    database = engine.create_database()
+    fact_ids = np.asarray(populate(database, probs), dtype=np.int64)
+    engine.run(database)
+    derived = engine.query_probs(database, relation)
+    rows = list(derived) or [()]
+    outputs = np.array([derived.get(row, 0.0) for row in rows])
+    grad_out = bce_grad(outputs, np.ones(len(rows)))
+    grad_facts = engine.backward(
+        database, relation, {row: g for row, g in zip(rows, grad_out)}
+    )
+    grad_probs = np.zeros_like(probs, dtype=np.float64)
+    valid = fact_ids >= 0
+    if len(grad_probs):
+        grad_probs[valid] = grad_facts[fact_ids[valid]]
+    return outputs, grad_probs
+
+
+def scallop_train_step(interpreter: ScallopInterpreter, populate, relation, probs):
+    """One symbolic forward+backward on the Scallop baseline."""
+    database = interpreter.create_database()
+    fact_ids = np.asarray(populate(database, probs), dtype=np.int64)
+    interpreter.run(database)
+    rows = list(database.rows(relation)) or [()]
+    outputs, _ = scallop_output_and_backward(
+        database, relation, rows, np.zeros(len(rows))
+    )
+    grad_out = bce_grad(outputs, np.ones(len(rows)))
+    _, grad_facts = scallop_output_and_backward(database, relation, rows, grad_out)
+    grad_probs = np.zeros_like(probs, dtype=np.float64)
+    valid = fact_ids >= 0
+    if len(grad_probs):
+        grad_probs[valid] = grad_facts[fact_ids[valid]]
+    return outputs, grad_probs

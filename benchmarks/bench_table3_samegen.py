@@ -1,0 +1,107 @@
+"""Table 3: Same Generation runtimes — Lobster vs FVLog, including OOMs.
+
+Both engines run under a fixed device-memory budget; the quadratic
+same-generation IDB blows past it on the memory-hungry datasets.  The
+paper's shape: Lobster is faster wherever both finish, and FVLog — whose
+lack of IR optimizations inflates intermediate footprints — runs out of
+memory on more datasets.  (The paper's single reversal, vsp_finan, where
+*Lobster* OOMs and FVLog finishes, stems from tag-register overhead our
+byte-sized unit tags don't reproduce; EXPERIMENTS.md discusses the
+divergence.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LobsterEngine, VirtualDevice
+from repro.baselines import FVLogEngine
+from repro.workloads.analytics import SAME_GENERATION
+from repro.workloads.graphs import load_graph
+
+from _harness import record, Measurement, print_table, timed
+
+DATASETS = [
+    "fe-sphere",
+    "CA-HepTH",
+    "ego-Facebook",
+    "Gnu31",
+    "fe_body",
+    "loc-Brightkite",
+    "SF.cedge",
+    "fc_ocean",
+    "vsp_finan",
+]
+
+#: Device budget: generous enough for meshes/roads, tight enough that the
+#: high-fanout graphs exceed it (mirrors the 80 GB A100 of §6).
+CAPACITY_BYTES = 800_000_000
+
+
+def run_engine(engine_cls, edges) -> Measurement:
+    if engine_cls is LobsterEngine:
+        device = VirtualDevice(capacity_bytes=CAPACITY_BYTES)
+        engine = LobsterEngine(SAME_GENERATION, provenance="unit", device=device)
+    else:
+        device = VirtualDevice(capacity_bytes=CAPACITY_BYTES, reuse_buffers=False)
+        engine = FVLogEngine(SAME_GENERATION, device=device)
+    db = engine.create_database()
+    db.add_facts("parent", edges)
+    return timed(lambda: engine.run(db))
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = {}
+    for name in DATASETS:
+        edges = load_graph(name)
+        rows[name] = (
+            run_engine(LobsterEngine, edges),
+            run_engine(FVLogEngine, edges),
+        )
+    return rows
+
+
+def test_table3_same_generation(results, benchmark):
+    def check():
+        table = [
+            [name, lobster.label, fvlog.label]
+            for name, (lobster, fvlog) in results.items()
+        ]
+        print_table(
+            "Table 3 — Same Generation runtime (device budget enforced)",
+            ["dataset", "lobster", "fvlog"],
+            table,
+        )
+        finished_both = [
+            (lobster, fvlog)
+            for lobster, fvlog in results.values()
+            if lobster.status == "ok" and fvlog.status == "ok"
+        ]
+        # Shape 1: wherever both finish, Lobster is never meaningfully
+        # slower.  (The paper reports >=2x per dataset; our two engines
+        # share one kernel substrate, so the wall gap compresses to
+        # near-parity — see EXPERIMENTS.md.)
+        assert finished_both, "no dataset finished on both engines"
+        for lobster, fvlog in finished_both:
+            assert lobster.seconds <= fvlog.seconds * 1.2
+        # Shape 2: FVLog runs out of memory on strictly more datasets —
+        # the Table 3 OOM asymmetry (no buffer management fragments the
+        # arena across fix-point iterations).
+        lobster_oom = sum(1 for l, _ in results.values() if l.status == "oom")
+        fvlog_oom = sum(1 for _, f in results.values() if f.status == "oom")
+        assert fvlog_oom > lobster_oom
+
+
+    record(benchmark, check)
+
+def test_table3_benchmark_samegen_lobster(benchmark):
+    edges = load_graph("fc_ocean")
+
+    def run():
+        engine = LobsterEngine(SAME_GENERATION, provenance="unit")
+        db = engine.create_database()
+        db.add_facts("parent", edges)
+        engine.run(db)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,49 @@
+"""RNA secondary structure prediction via probabilistic CFG parsing.
+
+Parses random RNA sequences with the Nussinov-style folding grammar; the
+top-1 proof of the full-span parse *is* the predicted secondary structure
+(the set of base pairings used), and its probability is the structure's
+likelihood under the pairing model.
+
+Run with:  python examples/rna_folding.py
+"""
+
+import numpy as np
+
+from repro import LobsterEngine
+from repro.workloads import rna
+
+
+def main() -> None:
+    engine = LobsterEngine(
+        rna.PROGRAM, provenance="prob-top-1-proofs", proof_capacity=128
+    )
+
+    for length in (28, 40, 60):
+        instance = rna.generate_instance(length, seed=length)
+        database = engine.create_database()
+        pair_ids = rna.populate_database(database, instance)
+        result = engine.run(database)
+
+        table = database.result("folded")
+        assert table.n_rows == 1, "sequence failed to parse"
+        probability = database.provenance.prob(table.tags)[0]
+
+        # Decode the structure from the winning proof: which pair_score
+        # facts participate.
+        proof = set(table.tags["proof"][0].tolist())
+        pairings = [
+            instance.pair_candidates[k]
+            for k, fact_id in enumerate(pair_ids)
+            if int(fact_id) in proof
+        ]
+        dots = ["."] * length
+        for i, j in pairings:
+            dots[i], dots[j] = "(", ")"
+        print(f"{instance.sequence}")
+        print(f"{''.join(dots)}   P={probability:.3e} "
+              f"({len(pairings)} pairs, {result.wall_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of Lobster (ASPLOS 2026): a GPU-accelerated
+framework for neurosymbolic programming.
+
+Public API highlights:
+
+* :class:`repro.LobsterEngine` — compile and run Datalog programs with a
+  chosen provenance semiring on the virtual GPU device.
+* :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
+  differentiable).
+* :mod:`repro.baselines` — Scallop/Soufflé/ProbLog/FVLog stand-ins.
+* :mod:`repro.workloads` — the paper's nine benchmark tasks.
+* :mod:`repro.nn` — a minimal autodiff substrate for end-to-end training.
+"""
+
+from .errors import (
+    CompileError,
+    DeviceOutOfMemory,
+    EvaluationTimeout,
+    ExecutionError,
+    LobsterError,
+    ParseError,
+    ResolutionError,
+    StratificationError,
+)
+from .gpu.device import VirtualDevice
+from .runtime.database import Database
+from .runtime.engine import ExecutionResult, LobsterEngine, OptimizationConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompileError",
+    "Database",
+    "DeviceOutOfMemory",
+    "EvaluationTimeout",
+    "ExecutionError",
+    "ExecutionResult",
+    "LobsterEngine",
+    "LobsterError",
+    "OptimizationConfig",
+    "ParseError",
+    "ResolutionError",
+    "StratificationError",
+    "VirtualDevice",
+    "__version__",
+]

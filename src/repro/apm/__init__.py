@@ -1,0 +1,19 @@
+"""APM: the Abstract Parallel Machine IR, compiler, optimizer, interpreter."""
+
+from . import instructions
+from .compiler import ApmProgram, CompiledRule, CompiledStratum, Variant, compile_ram
+from .interpreter import ApmInterpreter
+from .optimizer import optimize
+from .schedule import plan_transfers
+
+__all__ = [
+    "ApmInterpreter",
+    "ApmProgram",
+    "CompiledRule",
+    "CompiledStratum",
+    "Variant",
+    "compile_ram",
+    "instructions",
+    "optimize",
+    "plan_transfers",
+]

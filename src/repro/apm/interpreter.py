@@ -1,0 +1,292 @@
+"""APM execution (Algorithm 1).
+
+Executes a compiled :class:`~repro.apm.compiler.ApmProgram` against a
+:class:`~repro.runtime.database.Database` on a
+:class:`~repro.gpu.device.VirtualDevice`.
+
+Each stratum runs to a least fix point: per iteration the interpreter
+executes every rule variant's straight-line instruction list, accumulates
+delta tables, and advances each relation (the Appendix A "Stratum" rule's
+sort/unique⟨⊕⟩/merge sequence, executed by
+:meth:`~repro.runtime.relation.StoredRelation.advance` on the same device
+kernels).  Iteration stops when the frontier — new facts plus facts whose
+tags improved — is empty.
+
+The interpreter also drives the paper's runtime optimizations:
+
+* buffer accounting and reuse (§4.1) — fresh allocations after the first
+  iteration at a known allocation site are counted as reused and skip the
+  simulated allocation latency;
+* static hash-index reuse (§4.2) — ``Build`` instructions with a
+  ``static_key`` consult the device's static-register cache;
+* stratum offload scheduling (§5.3) — host<->device transfers are charged
+  according to the plan from :mod:`repro.apm.schedule`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import instructions as I
+from .compiler import ApmProgram, CompiledStratum, Variant
+from .schedule import plan_transfers
+from ..errors import DeviceOutOfMemory, ExecutionError
+from ..gpu import bytecode
+from ..gpu.device import ALLOC_LATENCY_S, VirtualDevice
+from ..gpu.hash_table import HashIndex
+from ..runtime.database import Database
+from ..runtime.table import Table
+
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+class ApmInterpreter:
+    """Executes APM programs on the virtual device."""
+
+    def __init__(
+        self,
+        device: VirtualDevice,
+        enable_static_reuse: bool = True,
+        enable_buffer_reuse: bool = True,
+        enable_stratum_scheduling: bool = True,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ):
+        self.device = device
+        self.enable_static_reuse = enable_static_reuse
+        self.enable_buffer_reuse = enable_buffer_reuse
+        self.enable_stratum_scheduling = enable_stratum_scheduling
+        self.max_iterations = max_iterations
+        self.iterations_run = 0
+        self._seen_sites: set[str] = set()
+        self._retained_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: ApmProgram, database: Database) -> None:
+        database.finalize()
+        transfers = plan_transfers(program, self.enable_stratum_scheduling)
+        for index, stratum in enumerate(program.strata):
+            self._charge_transfers(transfers.get(index, ()), database, to_device=True)
+            self.device.clear_statics()
+            self._seen_sites.clear()
+            self._run_stratum(stratum, database, program)
+            self._charge_transfers(
+                transfers.get(index, ()), database, to_device=False
+            )
+
+    def _charge_transfers(self, spec, database: Database, to_device: bool) -> None:
+        if not spec:
+            return
+        relations = spec[0] if to_device else spec[1]
+        for name in relations:
+            if name in database.relations:
+                nbytes = database.relations[name].nbytes()
+                self.device.record_transfer(nbytes, to_device)
+
+    # ------------------------------------------------------------------
+
+    def _run_stratum(
+        self, stratum: CompiledStratum, database: Database, program: ApmProgram
+    ) -> None:
+        provenance = database.provenance
+        for predicate in stratum.predicates:
+            database.relation(predicate).mark_all_recent()
+
+        # Without buffer reuse (§4.1), temporaries released across
+        # iterations fragment the arena and their footprint accumulates —
+        # the failure mode GDLog's over-allocate-and-reuse fix addresses.
+        # With reuse, an iteration's temporaries recycle into the next.
+        self._retained_bytes = 0
+
+        iteration = 0
+        while True:
+            iteration += 1
+            self.iterations_run += 1
+            deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
+            for rule in stratum.rules:
+                if rule.edb_only and iteration > 1:
+                    continue
+                for variant in rule.variants:
+                    self._execute_variant(variant, database, deltas, iteration)
+
+            frontier = 0
+            for predicate in stratum.predicates:
+                dtypes = program.schemas[predicate]
+                delta = Table.concat(deltas[predicate], dtypes, provenance)
+                frontier += database.relation(predicate).advance(delta)
+
+            if not stratum.recursive or frontier == 0:
+                break
+            if iteration >= self.max_iterations:
+                raise ExecutionError(
+                    f"stratum over {stratum.predicates} exceeded "
+                    f"{self.max_iterations} iterations without saturating"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _execute_variant(
+        self,
+        variant: Variant,
+        database: Database,
+        deltas: dict[str, list[Table]],
+        iteration: int,
+    ) -> None:
+        registers: dict[str, np.ndarray] = {}
+        provenance = database.provenance
+        profile = self.device.profile
+
+        def put(name: str, array: np.ndarray, charge: bool = True) -> None:
+            registers[name] = array
+            if not charge:
+                return
+            profile.allocation_count += 1
+            if self.enable_buffer_reuse and name in self._seen_sites:
+                profile.reused_allocations += 1
+            else:
+                profile.bytes_allocated += array.nbytes
+                profile.alloc_seconds += ALLOC_LATENCY_S
+            self._seen_sites.add(name)
+            self._check_capacity(database, registers)
+
+        for instruction in variant.instructions:
+            profile.record_instruction(type(instruction).__name__)
+
+            if isinstance(instruction, I.Load):
+                table = database.relation(instruction.predicate).snapshot(
+                    instruction.partition
+                )
+                for reg, column in zip(instruction.dst.cols, table.columns):
+                    put(reg, column, charge=False)
+                put(instruction.dst.tags, table.tags, charge=False)
+
+            elif isinstance(instruction, I.EvalProject):
+                src = instruction.src
+                n = len(registers[src.tags])
+                source_cols = [registers[c] for c in src.cols]
+                for j, program in enumerate(instruction.programs):
+                    dtype = instruction.dst.dtypes[j]
+                    if isinstance(program, int):
+                        column = source_cols[program]
+                        if column.dtype != dtype:
+                            column = column.astype(dtype)
+                        put(instruction.dst.cols[j], column)
+                    else:
+                        value = bytecode.execute(program, source_cols, n)
+                        put(instruction.dst.cols[j], np.asarray(value).astype(dtype))
+                put(instruction.dst.tags, registers[src.tags], charge=False)
+
+            elif isinstance(instruction, I.EvalFilter):
+                src = instruction.src
+                n = len(registers[src.tags])
+                source_cols = [registers[c] for c in src.cols]
+                mask = bytecode.execute(instruction.program, source_cols, n)
+                keep = np.flatnonzero(mask.astype(bool))
+                for dst, col in zip(instruction.dst.cols, source_cols):
+                    put(dst, col[keep])
+                put(instruction.dst.tags, registers[src.tags][keep])
+
+            elif isinstance(instruction, I.Build):
+                index = None
+                if instruction.static_key and self.enable_static_reuse and iteration > 1:
+                    index = self.device.get_static(instruction.static_key)
+                if index is None:
+                    columns = [registers[c] for c in instruction.src.cols]
+                    index = HashIndex(columns, instruction.width)
+                    profile.bytes_allocated += index.nbytes
+                    if instruction.static_key and self.enable_static_reuse:
+                        self.device.set_static(instruction.static_key, index)
+                else:
+                    profile.reused_allocations += 1
+                registers[instruction.dst] = index  # type: ignore[assignment]
+
+            elif isinstance(instruction, I.Probe):
+                index = registers[instruction.index]
+                probe_cols = [registers[c] for c in instruction.probe.cols[: instruction.width]]
+                probe_ids, build_ids, _counts = index.probe(probe_cols)
+                put(instruction.dst_build, build_ids)
+                put(instruction.dst_probe, probe_ids)
+
+            elif isinstance(instruction, I.AntiProbe):
+                index = registers[instruction.index]
+                probe_cols = [registers[c] for c in instruction.probe.cols[: instruction.width]]
+                counts = index.count(probe_cols)
+                put(instruction.dst, np.flatnonzero(counts == 0))
+
+            elif isinstance(instruction, I.Gather):
+                idx = registers[instruction.index]
+                for dst, src in zip(instruction.dst_cols, instruction.src_cols):
+                    put(dst, registers[src][idx])
+
+            elif isinstance(instruction, I.GatherTags):
+                left = registers[instruction.left_tags][registers[instruction.left_index]]
+                right = registers[instruction.right_tags][registers[instruction.right_index]]
+                put(instruction.dst, provenance.otimes(left, right))
+
+            elif isinstance(instruction, I.CopyTags):
+                put(instruction.dst, registers[instruction.src], charge=False)
+
+            elif isinstance(instruction, I.CrossIndices):
+                n_left = len(registers[instruction.left_tags])
+                n_right = len(registers[instruction.right_tags])
+                put(instruction.dst_left, np.repeat(np.arange(n_left, dtype=np.int64), n_right))
+                put(instruction.dst_right, np.tile(np.arange(n_right, dtype=np.int64), n_left))
+
+            elif isinstance(instruction, I.PassIfEmpty):
+                guard_empty = len(registers[instruction.guard_tags]) == 0
+                src = instruction.src
+                if guard_empty:
+                    for dst, col in zip(instruction.dst.cols, src.cols):
+                        put(dst, registers[col], charge=False)
+                    put(instruction.dst.tags, registers[src.tags], charge=False)
+                else:
+                    for dst, dtype in zip(instruction.dst.cols, instruction.dst.dtypes):
+                        put(dst, np.empty(0, dtype=dtype), charge=False)
+                    put(
+                        instruction.dst.tags,
+                        np.empty(0, dtype=provenance.tag_dtype()),
+                        charge=False,
+                    )
+
+            elif isinstance(instruction, I.StoreDelta):
+                src = instruction.src
+                tags = registers[src.tags]
+                columns = [registers[c] for c in src.cols]
+                # Drop absorbing-zero facts eagerly — they can never
+                # contribute to the fix point.
+                dead = provenance.is_absorbing_zero(tags)
+                if dead.any():
+                    keep = np.flatnonzero(~dead)
+                    columns = [c[keep] for c in columns]
+                    tags = tags[keep]
+                table = Table(columns, tags, len(tags))
+                if table.n_rows:
+                    deltas[instruction.predicate].append(table)
+
+            else:
+                raise ExecutionError(f"unknown APM instruction {instruction!r}")
+
+        if not self.enable_buffer_reuse:
+            self._retained_bytes += sum(
+                value.nbytes
+                for value in registers.values()
+                if isinstance(value, np.ndarray)
+            )
+
+    # ------------------------------------------------------------------
+
+    def _check_capacity(self, database: Database, registers: dict) -> None:
+        if self.device.capacity_bytes is None:
+            return
+        register_bytes = sum(
+            value.nbytes for value in registers.values() if isinstance(value, np.ndarray)
+        )
+        live = register_bytes + database.total_bytes() + self._retained_bytes
+        self.device.profile.peak_arena_bytes = max(
+            self.device.profile.peak_arena_bytes, live
+        )
+        if live > self.device.capacity_bytes:
+            raise DeviceOutOfMemory(
+                f"live bytes {live} exceed device capacity "
+                f"{self.device.capacity_bytes}"
+            )

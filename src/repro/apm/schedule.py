@@ -1,0 +1,112 @@
+"""Stratum offload scheduling (§5.3).
+
+Relations start in host memory; the scheduler decides when to ship them to
+the device and back.  The paper's heuristic: find the longest-running
+stratum (estimated by its count of recursive joins), then expand the
+device-resident window forwards and backwards through adjacent strata, so
+intermediate relations never round-trip over the bus.
+
+With scheduling *disabled* (the "None"/"Alloc" ablation arms of Fig. 10),
+every stratum naively transfers its inputs in and its outputs out, and the
+transfer cost model of :class:`~repro.gpu.device.VirtualDevice` charges
+each crossing.
+"""
+
+from __future__ import annotations
+
+from .compiler import ApmProgram
+from . import instructions as I
+
+#: Transfer plan per stratum index: (relations in, relations out).
+TransferPlan = dict[int, tuple[tuple[str, ...], tuple[str, ...]]]
+
+
+def stratum_inputs(program: ApmProgram, index: int) -> set[str]:
+    """Relations scanned by stratum ``index``."""
+    read: set[str] = set()
+    for rule in program.strata[index].rules:
+        for variant in rule.variants:
+            for instruction in variant.instructions:
+                if isinstance(instruction, I.Load):
+                    read.add(instruction.predicate)
+    return read
+
+
+def stratum_outputs(program: ApmProgram, index: int) -> set[str]:
+    return {rule.target for rule in program.strata[index].rules}
+
+
+def plan_transfers(program: ApmProgram, optimized: bool) -> TransferPlan:
+    """Compute per-stratum host<->device transfer sets.
+
+    Returns a map ``stratum index -> (in_relations, out_relations)``;
+    strata absent from the map incur no transfers at their boundary.
+    """
+    n = len(program.strata)
+    if n == 0:
+        return {}
+
+    if not optimized:
+        return {
+            index: (
+                tuple(sorted(stratum_inputs(program, index))),
+                tuple(sorted(stratum_outputs(program, index))),
+            )
+            for index in range(n)
+        }
+
+    # Optimized: one contiguous device window around the hottest stratum.
+    scores = [stratum.score for stratum in program.strata]
+    hottest = max(range(n), key=lambda index: scores[index])
+    start = hottest
+    end = hottest
+    # Expand over any adjacent stratum that exchanges data with the
+    # window — shipping it too avoids a round trip of its inputs/outputs.
+    changed = True
+    while changed:
+        changed = False
+        if start > 0 and (
+            stratum_outputs(program, start - 1) & _window_inputs(program, start, end)
+        ):
+            start -= 1
+            changed = True
+        if end < n - 1 and (
+            stratum_inputs(program, end + 1) & _window_outputs(program, start, end)
+        ):
+            end += 1
+            changed = True
+
+    window_in = _window_inputs(program, start, end)
+    window_out = _window_outputs(program, start, end)
+    plan: TransferPlan = {}
+    plan[start] = (tuple(sorted(window_in)), ())
+    outputs_entry = plan.get(end, ((), ()))
+    plan[end] = (outputs_entry[0] if end != start else plan[start][0], tuple(sorted(window_out)))
+    if end == start:
+        plan[start] = (tuple(sorted(window_in)), tuple(sorted(window_out)))
+    return plan
+
+
+def _window_inputs(program: ApmProgram, start: int, end: int) -> set[str]:
+    produced: set[str] = set()
+    needed: set[str] = set()
+    for index in range(start, end + 1):
+        needed |= stratum_inputs(program, index) - produced
+        produced |= stratum_outputs(program, index)
+    return needed
+
+
+def _window_outputs(program: ApmProgram, start: int, end: int) -> set[str]:
+    out: set[str] = set()
+    for index in range(start, end + 1):
+        out |= stratum_outputs(program, index)
+    return out & set(program.queries) | (
+        out & _downstream_inputs(program, end)
+    )
+
+
+def _downstream_inputs(program: ApmProgram, end: int) -> set[str]:
+    needed: set[str] = set()
+    for index in range(end + 1, len(program.strata)):
+        needed |= stratum_inputs(program, index)
+    return needed

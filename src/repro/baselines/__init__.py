@@ -1,0 +1,15 @@
+"""Baseline engines: Scallop, Souffle, ProbLog, FVLog stand-ins."""
+
+from .fvlog import FVLogEngine
+from .problog import ExactProofsProvenance, ProbLogEngine
+from .scallop import ScallopDatabase, ScallopInterpreter
+from .souffle import SouffleEngine
+
+__all__ = [
+    "ExactProofsProvenance",
+    "FVLogEngine",
+    "ProbLogEngine",
+    "ScallopDatabase",
+    "ScallopInterpreter",
+    "SouffleEngine",
+]

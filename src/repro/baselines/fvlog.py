@@ -1,0 +1,48 @@
+"""The FVLog baseline: GPU Datalog without an IR (§6.2, Fig. 13).
+
+FVLog is the latest GPU-accelerated *discrete* Datalog engine.  Two
+characteristics distinguish it from Lobster and are reproduced here:
+
+* **no user-facing front-end or query planner** — FVLog programs are
+  hand-written relational algebra.  :meth:`FVLogEngine.from_ram` accepts a
+  RAM program directly; the convenience Datalog constructor exists purely
+  so benchmarks can hand both systems identical logic.
+* **no IR, hence no IR-level optimizations** — the Fig. 13/Table 3
+  comparison attributes Lobster's edge to APM's optimization passes, so
+  this engine runs the same vectorized kernels with every APM-level
+  optimization disabled (no buffer reuse, no static hash-index reuse, no
+  stratum scheduling, no DCE/fusion passes).
+
+Only the unit provenance is supported, matching FVLog's discrete-only
+feature set.
+"""
+
+from __future__ import annotations
+
+from ..errors import LobsterError
+from ..gpu.device import VirtualDevice
+from ..runtime.engine import ExecutionResult, LobsterEngine, OptimizationConfig
+
+
+class FVLogEngine(LobsterEngine):
+    """Discrete-only vectorized engine with all IR optimizations off."""
+
+    def __init__(
+        self,
+        source: str,
+        device: VirtualDevice | None = None,
+        max_iterations: int = 100_000,
+    ):
+        device = device or VirtualDevice(reuse_buffers=False)
+        super().__init__(
+            source,
+            provenance="unit",
+            device=device,
+            optimizations=OptimizationConfig.none(),
+            max_iterations=max_iterations,
+        )
+
+    def run(self, database) -> ExecutionResult:
+        if database.provenance.name != "unit":
+            raise LobsterError("FVLog supports discrete reasoning only")
+        return super().run(database)

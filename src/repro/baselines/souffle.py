@@ -1,0 +1,233 @@
+"""The Soufflé baseline: an optimized discrete-only CPU Datalog engine.
+
+Soufflé represents the best of multicore CPU Datalog (§6.2): no provenance
+tags, specialized index data structures, semi-naive evaluation.  This
+stand-in evaluates with per-rule *hash-indexed* joins (dict-of-lists
+indices on the join keys, rebuilt per iteration over the stable set and
+incrementally for deltas) — substantially faster than the Scallop
+baseline's generic tagged nested loops, which mirrors the real systems'
+relationship, while remaining a per-tuple CPU engine that Lobster's
+whole-column kernels outpace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..datalog import ast
+from ..datalog.program import compile_source
+from ..errors import EvaluationTimeout
+from ..ram import planner
+
+
+class SouffleEngine:
+    """Discrete semi-naive evaluation with hash-indexed joins."""
+
+    def __init__(self, source: str, timeout_seconds: float | None = None):
+        self.resolved = compile_source(source)
+        self.timeout_seconds = timeout_seconds
+        self.iterations_run = 0
+
+    def create_database(self) -> dict[str, set[tuple]]:
+        database: dict[str, set[tuple]] = {}
+        for predicate, rows in self.resolved.facts.items():
+            database.setdefault(predicate, set()).update(tuple(r) for r in rows)
+        return database
+
+    def run(self, database: dict[str, set[tuple]]) -> None:
+        deadline = (
+            time.perf_counter() + self.timeout_seconds
+            if self.timeout_seconds is not None
+            else None
+        )
+        for stratum in self.resolved.strata:
+            self._run_stratum(stratum, database, deadline)
+
+    # ------------------------------------------------------------------
+
+    def _run_stratum(self, stratum, database, deadline) -> None:
+        pred_set = set(stratum.predicates)
+        for predicate in pred_set:
+            database.setdefault(predicate, set())
+        recent = {p: set(database[p]) for p in pred_set}
+        plans = [self._plan_rule(rule, pred_set) for rule in stratum.rules]
+
+        iteration = 0
+        while True:
+            iteration += 1
+            self.iterations_run += 1
+            if deadline is not None and time.perf_counter() > deadline:
+                raise EvaluationTimeout(
+                    f"Souffle baseline exceeded {self.timeout_seconds}s"
+                )
+            derived: dict[str, set[tuple]] = {}
+            for rule, ordered, recursive_positions in plans:
+                if recursive_positions:
+                    variants = recursive_positions
+                elif iteration == 1:
+                    variants = [None]
+                else:
+                    continue
+                for position in variants:
+                    self._eval_rule(
+                        rule, ordered, position, database, recent, derived
+                    )
+            frontier: dict[str, set[tuple]] = {}
+            for predicate, rows in derived.items():
+                fresh = rows - database[predicate]
+                database[predicate] |= fresh
+                frontier[predicate] = fresh
+            recent = {p: frontier.get(p, set()) for p in pred_set}
+            if not any(recent.values()):
+                break
+
+    def _plan_rule(self, rule, pred_set):
+        ordered = planner.order_atoms(rule.positives)
+        recursive_positions = [
+            index for index, atom in enumerate(ordered) if atom.predicate in pred_set
+        ]
+        return rule, ordered, recursive_positions
+
+    # ------------------------------------------------------------------
+
+    def _eval_rule(self, rule, ordered, recent_position, database, recent, derived):
+        # Precompute, per atom, the variable positions bound by earlier
+        # atoms (the index key) for hash-indexed lookup.
+        bound_vars: set[str] = set()
+        atom_keys: list[list[tuple[str, int]]] = []
+        for atom in ordered:
+            key = []
+            seen_here: dict[str, int] = {}
+            for position, arg in enumerate(atom.args):
+                if isinstance(arg, ast.Var):
+                    if arg.name in bound_vars and arg.name not in seen_here:
+                        key.append((arg.name, position))
+                    seen_here.setdefault(arg.name, position)
+            atom_keys.append(key)
+            bound_vars |= {
+                arg.name for arg in atom.args if isinstance(arg, ast.Var)
+            }
+
+        indices: list[dict | None] = []
+        for position, atom in enumerate(ordered):
+            source = (
+                recent.get(atom.predicate, set())
+                if position == recent_position
+                else database.get(atom.predicate, set())
+            )
+            key = atom_keys[position]
+            if not key:
+                indices.append(None)
+                continue
+            index: dict[tuple, list[tuple]] = {}
+            positions = [p for _, p in key]
+            for row in source:
+                index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            indices.append(index)
+
+        def rows_for(position: int, env: dict):
+            atom = ordered[position]
+            key = atom_keys[position]
+            if key:
+                lookup = tuple(env[name] for name, _ in key)
+                return indices[position].get(lookup, ())
+            if position == recent_position:
+                return recent.get(atom.predicate, ())
+            return database.get(atom.predicate, ())
+
+        out = derived.setdefault(rule.head, set())
+
+        def extend(position: int, env: dict):
+            if position == len(ordered):
+                if not self._guards_hold(rule, env, database):
+                    return
+                out.add(tuple(_eval_term(t, env) for t in rule.head_terms))
+                return
+            atom = ordered[position]
+            for row in rows_for(position, env):
+                bound = _unify(atom, row, env)
+                if bound is None:
+                    continue
+                if not _comparisons_hold(rule.comparisons, bound):
+                    continue
+                extend(position + 1, bound)
+
+        extend(0, {})
+
+    def _guards_hold(self, rule, env, database) -> bool:
+        for atom in rule.negatives:
+            row = tuple(_eval_term(arg, env) for arg in atom.args)
+            if row in database.get(atom.predicate, set()):
+                return False
+        return True
+
+
+# -- shared helpers (module-level so SouffleEngine stays lean) --------------
+
+
+def _unify(atom: ast.Atom, row: tuple, env: dict) -> dict | None:
+    bound = dict(env)
+    for arg, value in zip(atom.args, row):
+        if isinstance(arg, ast.Wildcard):
+            continue
+        if isinstance(arg, ast.Var):
+            existing = bound.get(arg.name)
+            if existing is None:
+                bound[arg.name] = value
+            elif existing != value:
+                return None
+            continue
+        if isinstance(arg, (ast.IntConst, ast.FloatConst)):
+            if value != arg.value:
+                return None
+            continue
+        return None
+    return bound
+
+
+def _comparisons_hold(comparisons, env: dict) -> bool:
+    for comparison in comparisons:
+        try:
+            lhs = _eval_term(comparison.lhs, env)
+            rhs = _eval_term(comparison.rhs, env)
+        except KeyError:
+            continue
+        op = comparison.op
+        if op == "==" and not lhs == rhs:
+            return False
+        if op == "!=" and not lhs != rhs:
+            return False
+        if op == "<" and not lhs < rhs:
+            return False
+        if op == "<=" and not lhs <= rhs:
+            return False
+        if op == ">" and not lhs > rhs:
+            return False
+        if op == ">=" and not lhs >= rhs:
+            return False
+    return True
+
+
+def _eval_term(term: ast.Term, env: dict):
+    if isinstance(term, ast.Var):
+        return env[term.name]
+    if isinstance(term, (ast.IntConst, ast.FloatConst)):
+        return term.value
+    if isinstance(term, ast.BinOp):
+        lhs = _eval_term(term.lhs, env)
+        rhs = _eval_term(term.rhs, env)
+        op = term.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return lhs / rhs if rhs != 0 else float("inf")
+        if op == "%":
+            return lhs % rhs if rhs != 0 else 0
+        raise ValueError(f"unknown operator {op!r}")
+    if isinstance(term, ast.Neg):
+        return -_eval_term(term.operand, env)
+    raise TypeError(f"cannot evaluate {term!r}")

@@ -1,0 +1,18 @@
+"""Datalog front-end: lexer, parser, resolver, stratifier."""
+
+from . import ast
+from .parser import parse
+from .program import compile_source
+from .resolver import ResolvedProgram, ResolvedRule, Stratum, resolve
+from .stratify import stratify
+
+__all__ = [
+    "ResolvedProgram",
+    "ResolvedRule",
+    "Stratum",
+    "ast",
+    "compile_source",
+    "parse",
+    "resolve",
+    "stratify",
+]

@@ -1,0 +1,36 @@
+"""Desugaring: flatten rule bodies to disjunctive normal form.
+
+A rule whose body contains ``or`` becomes several rules (one per disjunct),
+matching how Fig. 3c's ``path`` rule compiles to a union in RAM.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def body_to_dnf(formula: ast.Formula) -> list[list[ast.Literal]]:
+    """Expand a body formula into a list of conjunctive literal lists."""
+    if isinstance(formula, (ast.Atom, ast.Comparison)):
+        return [[formula]]
+    if isinstance(formula, ast.Conj):
+        disjuncts: list[list[ast.Literal]] = [[]]
+        for item in formula.items:
+            expanded = body_to_dnf(item)
+            disjuncts = [prefix + suffix for prefix in disjuncts for suffix in expanded]
+        return disjuncts
+    if isinstance(formula, ast.Disj):
+        out: list[list[ast.Literal]] = []
+        for item in formula.items:
+            out.extend(body_to_dnf(item))
+        return out
+    raise TypeError(f"unexpected formula node {formula!r}")
+
+
+def desugar_rules(rules: list[ast.Rule]) -> list[tuple[ast.Atom, list[ast.Literal]]]:
+    """Expand every rule into (head, conjunctive body) pairs."""
+    flat: list[tuple[ast.Atom, list[ast.Literal]]] = []
+    for rule in rules:
+        for conjunct in body_to_dnf(rule.body):
+            flat.append((rule.head, conjunct))
+    return flat

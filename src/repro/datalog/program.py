@@ -1,0 +1,17 @@
+"""High-level program facade: source text -> resolved program."""
+
+from __future__ import annotations
+
+from .parser import parse
+from .resolver import ResolvedProgram, resolve
+from ..interning import SymbolTable
+
+
+def compile_source(source: str, symbols: SymbolTable | None = None) -> ResolvedProgram:
+    """Parse + resolve Datalog source text in one call.
+
+    This is the front-end entry point used by
+    :class:`repro.runtime.engine.LobsterEngine` and by the baseline engines
+    (all engines share the front-end, as Lobster reuses Scallop's).
+    """
+    return resolve(parse(source), symbols)

@@ -1,0 +1,105 @@
+"""Predicate stratification.
+
+Computes the condensation of the predicate dependency graph; each strongly
+connected component becomes one stratum (executed as a fix-point loop,
+§3.4), and strata run in topological order.  Negation inside an SCC is
+rejected — the program would not be stratified.
+"""
+
+from __future__ import annotations
+
+from ..errors import StratificationError
+
+
+def stratify(
+    heads: list[str],
+    dependencies: list[tuple[str, str, bool]],
+) -> list[list[str]]:
+    """Order predicates into strata.
+
+    Parameters
+    ----------
+    heads:
+        All predicates defined by rules (IDB predicates).
+    dependencies:
+        ``(body_pred, head_pred, negated)`` edges.
+
+    Returns
+    -------
+    A list of strata; each stratum is a list of IDB predicate names.
+    """
+    idb = set(heads)
+    graph: dict[str, set[str]] = {p: set() for p in idb}
+    negated_edges: set[tuple[str, str]] = set()
+    for body_pred, head_pred, negated in dependencies:
+        if body_pred in idb and head_pred in idb:
+            graph[body_pred].add(head_pred)
+            if negated:
+                negated_edges.add((body_pred, head_pred))
+
+    sccs = _tarjan(graph)
+
+    # Reject negation within a component.
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(sccs):
+        for pred in component:
+            component_of[pred] = index
+    for body_pred, head_pred in negated_edges:
+        if component_of[body_pred] == component_of[head_pred]:
+            raise StratificationError(
+                f"negation cycle through {body_pred!r} and {head_pred!r}"
+            )
+
+    # Tarjan emits components in reverse topological order of the
+    # condensation (for edges body -> head, dependencies come last), so
+    # reversing yields execution order.
+    return [sorted(component) for component in reversed(sccs)]
+
+
+def _tarjan(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan SCC; deterministic given sorted adjacency."""
+    index_counter = 0
+    indices: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(sorted(graph[root])))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indices:
+                    indices[child] = lowlink[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, runtime, or device derives from
+:class:`LobsterError` so applications can catch framework failures with a
+single except clause.
+"""
+
+from __future__ import annotations
+
+
+class LobsterError(Exception):
+    """Base class for all errors raised by this framework."""
+
+
+class ParseError(LobsterError):
+    """Raised when Datalog source text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ResolutionError(LobsterError):
+    """Raised when a program refers to undeclared relations or variables."""
+
+
+class StratificationError(LobsterError):
+    """Raised when a program cannot be stratified (e.g. negation cycles)."""
+
+
+class CompileError(LobsterError):
+    """Raised when RAM cannot be lowered to APM."""
+
+
+class ExecutionError(LobsterError):
+    """Raised when an APM program fails at runtime."""
+
+
+class DeviceOutOfMemory(ExecutionError):
+    """Raised when an allocation exceeds the virtual device's capacity.
+
+    Mirrors a CUDA out-of-memory failure; benchmark harnesses catch this to
+    report "OOM" rows as in Table 3 of the paper.
+    """
+
+
+class EvaluationTimeout(LobsterError):
+    """Raised by baseline engines when a configured wall-clock budget expires.
+
+    Used to reproduce the paper's 2-hour ProbLog timeouts at a smaller scale.
+    """
+
+
+class ProvenanceError(LobsterError):
+    """Raised on invalid tag operations (e.g. proof capacity overflow)."""

@@ -1,0 +1,14 @@
+"""Virtual GPU substrate: device model, kernels, hash index, bytecode VM."""
+
+from .bytecode import BytecodeProgram, Instr, execute
+from .device import DeviceProfile, VirtualDevice
+from .hash_table import HashIndex
+
+__all__ = [
+    "BytecodeProgram",
+    "DeviceProfile",
+    "HashIndex",
+    "Instr",
+    "VirtualDevice",
+    "execute",
+]

@@ -1,0 +1,128 @@
+"""Bytecode interpreter for projection/selection expressions (§5.2).
+
+The paper compiles arithmetic project/select expressions to bytecode for a
+tiny stack machine; each GPU thread runs the program against one fact.  Our
+vectorized equivalent runs each opcode against whole columns at once: the
+stack holds column vectors, so one interpreter step is one fused kernel.
+
+Pure column permutations/subsets never reach the bytecode path — the APM
+compiler lowers those to columnar copies (the fast path in §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+# Opcodes -------------------------------------------------------------------
+
+LOAD_COL = "load_col"  # push input column[arg]
+LOAD_CONST = "load_const"  # push a scalar constant broadcast to n rows
+
+_BINARY_OPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "and": np.logical_and,
+    "or": np.logical_or,
+}
+
+_UNARY_OPS = {
+    "neg": np.negative,
+    "not": np.logical_not,
+    "abs": np.abs,
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One bytecode instruction: an opcode and an optional immediate."""
+
+    op: str
+    arg: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.op}({self.arg})" if self.arg is not None else self.op
+
+
+@dataclass(frozen=True)
+class BytecodeProgram:
+    """A straight-line stack program producing exactly one column."""
+
+    instrs: tuple[Instr, ...]
+
+    def max_stack_depth(self) -> int:
+        depth = peak = 0
+        for instr in self.instrs:
+            if instr.op in (LOAD_COL, LOAD_CONST):
+                depth += 1
+            elif instr.op in _BINARY_OPS or instr.op in ("div", "mod", "fdiv"):
+                depth -= 1
+            peak = max(peak, depth)
+        return peak
+
+
+def execute(
+    program: BytecodeProgram, columns: Sequence[np.ndarray], n_rows: int
+) -> np.ndarray:
+    """Run ``program`` against a columnar table, returning one column."""
+    stack: list[np.ndarray] = []
+    # HWF-style arithmetic can produce inf (x/0) that later multiplies by
+    # zero; the resulting NaN rows are legitimate dead values that simply
+    # never match an answer, so silence the elementwise warnings wholesale.
+    with np.errstate(all="ignore"):
+        return _run(program, stack, columns, n_rows)
+
+
+def _run(program, stack, columns, n_rows) -> np.ndarray:
+    for instr in program.instrs:
+        op = instr.op
+        if op == LOAD_COL:
+            stack.append(np.asarray(columns[instr.arg]))
+        elif op == LOAD_CONST:
+            value = instr.arg
+            dtype = np.float64 if isinstance(value, float) else np.int64
+            stack.append(np.full(n_rows, value, dtype=dtype))
+        elif op in _BINARY_OPS:
+            rhs = stack.pop()
+            lhs = stack.pop()
+            stack.append(_BINARY_OPS[op](lhs, rhs))
+        elif op == "div":
+            rhs = stack.pop()
+            lhs = stack.pop()
+            # True division promotes to float, mirroring the paper's HWF
+            # requirement for floating point arithmetic.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = np.true_divide(lhs, rhs)
+            stack.append(out)
+        elif op == "fdiv":
+            rhs = stack.pop()
+            lhs = stack.pop()
+            with np.errstate(divide="ignore", invalid="ignore"):
+                stack.append(np.floor_divide(lhs, rhs))
+        elif op == "mod":
+            rhs = stack.pop()
+            lhs = stack.pop()
+            with np.errstate(divide="ignore", invalid="ignore"):
+                stack.append(np.mod(lhs, rhs))
+        elif op in _UNARY_OPS:
+            stack.append(_UNARY_OPS[op](stack.pop()))
+        else:
+            raise ExecutionError(f"unknown bytecode op {op!r}")
+    if len(stack) != 1:
+        raise ExecutionError(
+            f"bytecode program left {len(stack)} values on the stack (want 1)"
+        )
+    return stack[0]

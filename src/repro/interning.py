@@ -1,0 +1,53 @@
+"""String interning.
+
+Datalog values on the device are 64-bit integers.  Programs that speak about
+strings (kinship relations, RNA bases, analysis alarm names) intern them
+through a :class:`SymbolTable`, which provides a stable bijection between
+strings and small non-negative ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class SymbolTable:
+    """A bidirectional string <-> int mapping with insertion-order ids."""
+
+    def __init__(self, symbols: Iterable[str] = ()):
+        self._to_id: dict[str, int] = {}
+        self._to_str: list[str] = []
+        for symbol in symbols:
+            self.intern(symbol)
+
+    def intern(self, symbol: str) -> int:
+        """Return the id for ``symbol``, assigning a fresh one if needed."""
+        existing = self._to_id.get(symbol)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_str)
+        self._to_id[symbol] = new_id
+        self._to_str.append(symbol)
+        return new_id
+
+    def intern_all(self, symbols: Iterable[str]) -> list[int]:
+        return [self.intern(s) for s in symbols]
+
+    def lookup(self, symbol_id: int) -> str:
+        """Return the string for an id; raises ``KeyError`` if unknown."""
+        if 0 <= symbol_id < len(self._to_str):
+            return self._to_str[symbol_id]
+        raise KeyError(f"unknown symbol id {symbol_id}")
+
+    def id_of(self, symbol: str) -> int:
+        """Return the id for an already-interned string."""
+        return self._to_id[symbol]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._to_id
+
+    def __len__(self) -> int:
+        return len(self._to_str)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._to_str)

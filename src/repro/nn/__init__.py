@@ -1,0 +1,23 @@
+"""Minimal numpy autodiff: the PyTorch stand-in for perception models."""
+
+from .bridge import NeurosymbolicFunction
+from .layers import MLP, Classifier, Linear, Module, PatchScorer
+from .losses import binary_cross_entropy, mse, nll
+from .optim import SGD, Adam, Optimizer
+from .tensor import Tensor
+
+__all__ = [
+    "Adam",
+    "Classifier",
+    "Linear",
+    "MLP",
+    "Module",
+    "NeurosymbolicFunction",
+    "Optimizer",
+    "PatchScorer",
+    "SGD",
+    "Tensor",
+    "binary_cross_entropy",
+    "mse",
+    "nll",
+]

@@ -1,0 +1,76 @@
+"""The neural <-> symbolic bridge.
+
+:class:`NeurosymbolicFunction` makes a Lobster engine behave like one
+differentiable operation in the autodiff graph: the forward pass loads
+neural predictions as probabilistic input facts and runs the Datalog
+program; the backward pass routes output-probability gradients through the
+provenance semiring's :meth:`~repro.provenance.base.Provenance.backward`
+back onto the prediction tensor — exactly the end-to-end training loop of
+Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+from ..runtime.database import Database
+from ..runtime.engine import LobsterEngine
+
+
+class NeurosymbolicFunction:
+    """Wraps an engine as a differentiable probs -> probs function.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`LobsterEngine` built with a differentiable provenance.
+    populate:
+        Callback ``populate(db, probs) -> fact_ids`` that registers the
+        probabilistic input facts (and any discrete context facts) in a
+        fresh database.  ``fact_ids[i]`` must be the input-fact id that
+        received probability ``probs[i]``.
+    output_relation:
+        Relation whose fact probabilities are the function's outputs.
+    output_rows:
+        The fixed tuple set read out of ``output_relation``; absent facts
+        read as probability 0.
+    """
+
+    def __init__(
+        self,
+        engine: LobsterEngine,
+        populate: Callable[[Database, np.ndarray], np.ndarray],
+        output_relation: str,
+        output_rows: list[tuple],
+    ):
+        self.engine = engine
+        self.populate = populate
+        self.output_relation = output_relation
+        self.output_rows = [tuple(row) for row in output_rows]
+        self.last_result = None
+
+    def __call__(self, probs: Tensor) -> Tensor:
+        flat = probs.data.reshape(-1)
+        database = self.engine.create_database()
+        fact_ids = np.asarray(self.populate(database, flat), dtype=np.int64)
+        self.last_result = self.engine.run(database)
+
+        derived = self.engine.query_probs(database, self.output_relation)
+        out = np.array([derived.get(row, 0.0) for row in self.output_rows])
+
+        def backward(grad_out):
+            grad_map = {
+                row: float(g) for row, g in zip(self.output_rows, grad_out)
+            }
+            grad_inputs = self.engine.backward(
+                database, self.output_relation, grad_map
+            )
+            grad_flat = np.zeros_like(flat)
+            valid = fact_ids >= 0
+            grad_flat[valid] = grad_inputs[fact_ids[valid]]
+            return [(probs, grad_flat.reshape(probs.data.shape))]
+
+        return Tensor(out, _parents=(probs,), _backward=backward)

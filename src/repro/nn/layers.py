@@ -1,0 +1,87 @@
+"""Neural layers for the perception models used by the workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class; subclasses expose parameters for the optimizer."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Fully connected layer with Kaiming-ish initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_features, out_features)), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class MLP(Module):
+    """ReLU multi-layer perceptron."""
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator):
+        self.layers = [Linear(a, b, rng) for a, b in zip(sizes, sizes[1:])]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < len(self.layers) - 1:
+                x = x.relu()
+        return x
+
+
+class PatchScorer(Module):
+    """The workloads' stand-in for a CNN: an MLP scoring fixed-size pixel
+    patches (edge detection for Pathfinder, cell classification for
+    PacMan).  A convolution over a lattice is exactly a patch scorer
+    applied at every lattice site, so this exercises the same
+    neural-to-symbolic interface."""
+
+    def __init__(self, patch_size: int, hidden: int, rng: np.random.Generator):
+        self.net = MLP([patch_size, hidden, 1], rng)
+
+    def forward(self, patches: Tensor) -> Tensor:
+        return self.net(patches).reshape(-1).sigmoid()
+
+
+class Classifier(Module):
+    """Softmax classifier over feature vectors (HWF symbols, CLUTRR
+    relations)."""
+
+    def __init__(self, in_features: int, hidden: int, n_classes: int, rng):
+        self.net = MLP([in_features, hidden, n_classes], rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        return self.net(features).softmax(axis=-1)

@@ -1,0 +1,43 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def binary_cross_entropy(pred: Tensor, target: np.ndarray) -> Tensor:
+    """BCE over probabilities in [0, 1] (the paper's yes/no supervision)."""
+    target = np.asarray(target, dtype=np.float64)
+    eps = 1e-7
+    clipped = Tensor(
+        np.clip(pred.data, eps, 1 - eps),
+        _parents=(pred,),
+        _backward=lambda g: [(pred, g * ((pred.data > eps) & (pred.data < 1 - eps)))],
+    )
+    loss = -(
+        Tensor(target) * clipped.log() + Tensor(1.0 - target) * (1.0 - clipped).log()
+    )
+    return loss.mean()
+
+
+def nll(pred_probs: Tensor, target_index: np.ndarray) -> Tensor:
+    """Negative log likelihood over probability rows."""
+    target_index = np.asarray(target_index, dtype=np.int64)
+    rows = np.arange(len(target_index))
+
+    picked_data = pred_probs.data[rows, target_index]
+
+    def backward(g):
+        grad = np.zeros_like(pred_probs.data)
+        grad[rows, target_index] = g
+        return [(pred_probs, grad)]
+
+    picked = Tensor(picked_data, _parents=(pred_probs,), _backward=backward)
+    return -picked.log().mean()
+
+
+def mse(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()

@@ -1,0 +1,230 @@
+"""A minimal reverse-mode autodiff tensor (the PyTorch stand-in).
+
+The paper trains neural components with PyTorch; this repo substitutes a
+small numpy tape-based autodiff sufficient for the perception models the
+workloads need (MLPs, logistic heads, softmax classifiers).  Only the
+symbolic side is under test, so this stays deliberately small — but it is
+a real reverse-mode implementation, not a mock: gradients flow end to end
+through the Datalog engine via
+:class:`repro.nn.bridge.NeurosymbolicFunction`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Tensor:
+    """An n-d array with a gradient tape."""
+
+    def __init__(self, data, requires_grad: bool = False, _parents=(), _backward=None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad
+        self.grad: np.ndarray | None = None
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-mode sweep from this tensor."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: Tensor) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + parent_grad
+                else:
+                    grads[id(parent)] = parent_grad
+
+    # -- operators ---------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = _wrap(other)
+        out = Tensor(
+            self.data + other.data,
+            _parents=(self, other),
+            _backward=lambda g: [
+                (self, _unbroadcast(g, self.data.shape)),
+                (other, _unbroadcast(g, other.data.shape)),
+            ],
+        )
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor(-self.data, _parents=(self,), _backward=lambda g: [(self, -g)])
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_wrap(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _wrap(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _wrap(other)
+        return Tensor(
+            self.data * other.data,
+            _parents=(self, other),
+            _backward=lambda g: [
+                (self, _unbroadcast(g * other.data, self.data.shape)),
+                (other, _unbroadcast(g * self.data, other.data.shape)),
+            ],
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _wrap(other)
+        return Tensor(
+            self.data / other.data,
+            _parents=(self, other),
+            _backward=lambda g: [
+                (self, _unbroadcast(g / other.data, self.data.shape)),
+                (
+                    other,
+                    _unbroadcast(-g * self.data / other.data**2, other.data.shape),
+                ),
+            ],
+        )
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        return Tensor(
+            self.data @ other.data,
+            _parents=(self, other),
+            _backward=lambda g: [
+                (self, g @ other.data.swapaxes(-1, -2)),
+                (other, self.data.swapaxes(-1, -2) @ g),
+            ],
+        )
+
+    __matmul__ = matmul
+
+    def sum(self, axis=None) -> "Tensor":
+        def backward(g):
+            if axis is None:
+                return [(self, np.broadcast_to(g, self.data.shape).copy())]
+            expanded = np.expand_dims(g, axis)
+            return [(self, np.broadcast_to(expanded, self.data.shape).copy())]
+
+        return Tensor(self.data.sum(axis=axis), _parents=(self,), _backward=backward)
+
+    def mean(self) -> "Tensor":
+        n = self.data.size
+        return self.sum() * (1.0 / n)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor(
+            self.data * mask,
+            _parents=(self,),
+            _backward=lambda g: [(self, g * mask)],
+        )
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+        return Tensor(
+            value,
+            _parents=(self,),
+            _backward=lambda g: [(self, g * value * (1.0 - value))],
+        )
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        return Tensor(
+            value,
+            _parents=(self,),
+            _backward=lambda g: [(self, g * (1.0 - value**2))],
+        )
+
+    def log(self) -> "Tensor":
+        return Tensor(
+            np.log(np.clip(self.data, 1e-12, None)),
+            _parents=(self,),
+            _backward=lambda g: [(self, g / np.clip(self.data, 1e-12, None))],
+        )
+
+    def exp(self) -> "Tensor":
+        value = np.exp(np.clip(self.data, -60, 60))
+        return Tensor(value, _parents=(self,), _backward=lambda g: [(self, g * value)])
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            dot = (g * value).sum(axis=axis, keepdims=True)
+            return [(self, value * (g - dot))]
+
+        return Tensor(value, _parents=(self,), _backward=backward)
+
+    def reshape(self, *shape) -> "Tensor":
+        return Tensor(
+            self.data.reshape(*shape),
+            _parents=(self,),
+            _backward=lambda g: [(self, g.reshape(self.data.shape))],
+        )
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        indices = np.asarray(indices, dtype=np.int64)
+
+        def backward(g):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, indices, g)
+            return [(self, grad)]
+
+        return Tensor(self.data[indices], _parents=(self,), _backward=backward)
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum a gradient back down to the shape it was broadcast from."""
+    grad = np.asarray(grad, dtype=np.float64)
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad

@@ -1,0 +1,53 @@
+"""The ``add-mult-prob`` semiring.
+
+Tags are non-negative reals; conjunction multiplies, disjunction adds —
+the sum-of-products weighted model count *without* disjointness correction.
+Appropriate for programs whose derivations are mutually exclusive by
+construction (the paper uses it for HWF-style grammar evaluation).  Output
+probabilities are clamped to [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SATURATION_EPS, Provenance
+from ..gpu.kernels import segment_reduce_sum
+
+_DTYPE = np.dtype(np.float64)
+
+
+class AddMultProbProvenance(Provenance):
+    """Weighted derivation counting: ⊗ = ×, ⊕ = +."""
+
+    name = "addmultprob"
+
+    def tag_dtype(self) -> np.dtype:
+        return _DTYPE
+
+    def input_tags(self, fact_ids: np.ndarray) -> np.ndarray:
+        fact_ids = np.asarray(fact_ids, dtype=np.int64)
+        out = np.ones(len(fact_ids), dtype=_DTYPE)
+        tagged = fact_ids >= 0
+        out[tagged] = self.input_probs[fact_ids[tagged]]
+        return out
+
+    def one_tags(self, n: int) -> np.ndarray:
+        return np.ones(n, dtype=_DTYPE)
+
+    def otimes(self, a, b) -> np.ndarray:
+        return np.multiply(a, b)
+
+    def oplus_reduce(self, tags, segment_ids, nseg) -> np.ndarray:
+        return segment_reduce_sum(tags, segment_ids, nseg).astype(_DTYPE)
+
+    def merge_existing(self, old, new):
+        merged = old + new
+        improved = new > SATURATION_EPS
+        return merged, improved
+
+    def prob(self, tags) -> np.ndarray:
+        return np.clip(np.asarray(tags, dtype=np.float64), 0.0, 1.0)
+
+    def is_absorbing_zero(self, tags) -> np.ndarray:
+        return np.asarray(tags) <= 0.0

@@ -1,0 +1,57 @@
+"""Name-based provenance registry (§3.5).
+
+Lobster supports a library of semirings so users pick a reasoning mode by
+name — e.g. ``provenance="diff-top-1-proofs"`` — without touching the
+program.  The seven device semirings of the paper plus the CPU-only
+general top-k are registered here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .addmultprob import AddMultProbProvenance
+from .base import Provenance
+from .diff_addmultprob import DiffAddMultProbProvenance
+from .diff_minmaxprob import DiffMinMaxProbProvenance
+from .diff_top1proof import DiffTop1ProofProvenance
+from .minmaxprob import MinMaxProbProvenance
+from .top1proof import Top1ProofProvenance
+from .topkproofs import TopKProofsProvenance
+from .unit import UnitProvenance
+
+_REGISTRY: dict[str, Callable[..., Provenance]] = {}
+
+
+def register(name: str, factory: Callable[..., Provenance]) -> None:
+    _REGISTRY[name] = factory
+
+
+def create(name: str, **kwargs) -> Provenance:
+    """Instantiate a provenance semiring by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown provenance {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register("unit", UnitProvenance)
+register("minmaxprob", MinMaxProbProvenance)
+register("addmultprob", AddMultProbProvenance)
+register("prob-top-1-proofs", Top1ProofProvenance)
+register("diff-minmaxprob", DiffMinMaxProbProvenance)
+register("diff-addmultprob", DiffAddMultProbProvenance)
+register("diff-top-1-proofs", DiffTop1ProofProvenance)
+register("top-k-proofs", TopKProofsProvenance)
+
+# §3.5 extension: vectorized top-k on the device (see topk_device.py).
+from .topk_device import DiffTopKProofsDeviceProvenance, TopKProofsDeviceProvenance
+
+register("top-k-proofs-device", TopKProofsDeviceProvenance)
+register("diff-top-k-proofs-device", DiffTopKProofsDeviceProvenance)

@@ -1,0 +1,7 @@
+"""RAM: the mid-level relational algebra IR and the Datalog lowering."""
+
+from . import exprs, ir
+from .compile_datalog import compile_program
+from .planner import order_atoms
+
+__all__ = ["compile_program", "exprs", "ir", "order_atoms"]

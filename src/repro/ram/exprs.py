@@ -1,0 +1,163 @@
+"""Row-level scalar expressions used by RAM's project (α) and select (β).
+
+An expression tree evaluates against one row of a table.  Two backends:
+
+* :func:`to_bytecode` — compiles to the device's stack bytecode (§5.2);
+  each opcode then runs vectorized over whole columns.
+* :func:`evaluate_row` — direct per-row evaluation for the CPU baseline
+  engines (Scallop/Soufflé stand-ins), one tuple at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..gpu.bytecode import LOAD_COL, LOAD_CONST, BytecodeProgram, Instr
+
+INT = np.dtype(np.int64)
+FLOAT = np.dtype(np.float64)
+
+
+@dataclass(frozen=True)
+class Col:
+    index: int
+
+
+@dataclass(frozen=True)
+class Const:
+    value: object  # int | float
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # + - * / % min max == != < <= > >= and or
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # neg, not, abs
+    operand: "Expr"
+
+
+Expr = Union[Col, Const, Binary, Unary]
+
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "%": "mod", "min": "min", "max": "max"}
+_COMPARE_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_LOGIC_OPS = {"and": "and", "or": "or"}
+
+
+def expr_dtype(expr: Expr, input_dtypes: tuple[np.dtype, ...]) -> np.dtype:
+    """Static result dtype of an expression over the given input columns."""
+    if isinstance(expr, Col):
+        return input_dtypes[expr.index]
+    if isinstance(expr, Const):
+        return FLOAT if isinstance(expr.value, float) else INT
+    if isinstance(expr, Unary):
+        return expr_dtype(expr.operand, input_dtypes)
+    if isinstance(expr, Binary):
+        if expr.op in _COMPARE_OPS or expr.op in _LOGIC_OPS:
+            return INT
+        if expr.op == "/":
+            return FLOAT
+        lhs = expr_dtype(expr.lhs, input_dtypes)
+        rhs = expr_dtype(expr.rhs, input_dtypes)
+        return FLOAT if FLOAT in (lhs, rhs) else INT
+    raise TypeError(f"unexpected expression {expr!r}")
+
+
+def to_bytecode(expr: Expr, input_dtypes: tuple[np.dtype, ...]) -> BytecodeProgram:
+    instrs: list[Instr] = []
+    _emit(expr, input_dtypes, instrs)
+    return BytecodeProgram(tuple(instrs))
+
+
+def _emit(expr: Expr, dtypes: tuple[np.dtype, ...], out: list[Instr]) -> None:
+    if isinstance(expr, Col):
+        out.append(Instr(LOAD_COL, expr.index))
+        return
+    if isinstance(expr, Const):
+        out.append(Instr(LOAD_CONST, expr.value))
+        return
+    if isinstance(expr, Unary):
+        _emit(expr.operand, dtypes, out)
+        out.append(Instr({"neg": "neg", "not": "not", "abs": "abs"}[expr.op]))
+        return
+    if isinstance(expr, Binary):
+        _emit(expr.lhs, dtypes, out)
+        _emit(expr.rhs, dtypes, out)
+        if expr.op in _ARITH_OPS:
+            out.append(Instr(_ARITH_OPS[expr.op]))
+        elif expr.op in _COMPARE_OPS:
+            out.append(Instr(_COMPARE_OPS[expr.op]))
+        elif expr.op in _LOGIC_OPS:
+            out.append(Instr(_LOGIC_OPS[expr.op]))
+        elif expr.op == "/":
+            # "/" is always true division and yields a float column,
+            # matching expr_dtype's inference (HWF-style arithmetic).
+            out.append(Instr("div"))
+        else:
+            raise ValueError(f"unknown operator {expr.op!r}")
+        return
+    raise TypeError(f"unexpected expression {expr!r}")
+
+
+def evaluate_row(expr: Expr, row: tuple):
+    """Per-tuple evaluation (CPU baseline path)."""
+    if isinstance(expr, Col):
+        return row[expr.index]
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Unary):
+        value = evaluate_row(expr.operand, row)
+        if expr.op == "neg":
+            return -value
+        if expr.op == "not":
+            return not value
+        return abs(value)
+    if isinstance(expr, Binary):
+        lhs = evaluate_row(expr.lhs, row)
+        rhs = evaluate_row(expr.rhs, row)
+        op = expr.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return lhs / rhs if rhs != 0 else float("inf")
+        if op == "%":
+            return lhs % rhs if rhs != 0 else 0
+        if op == "min":
+            return min(lhs, rhs)
+        if op == "max":
+            return max(lhs, rhs)
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "and":
+            return bool(lhs) and bool(rhs)
+        if op == "or":
+            return bool(lhs) or bool(rhs)
+        raise ValueError(f"unknown operator {op!r}")
+    raise TypeError(f"unexpected expression {expr!r}")
+
+
+def is_permutation(exprs: list[Expr]) -> bool:
+    """True when a projection merely permutes/subsets columns — the fast
+    columnar-copy path of §5.2 (no bytecode needed)."""
+    return all(isinstance(e, Col) for e in exprs)

@@ -1,0 +1,68 @@
+"""Query planning heuristics for the Datalog -> RAM lowering.
+
+Lobster reuses Scallop's front-end and query planner (§5); the planner
+here implements the standard greedy choices those systems make:
+
+* **atom ordering** — start from the first body atom, then repeatedly pick
+  the atom sharing the most variables with the already-bound set (breaking
+  ties by original order), so joins stay selective and products are a last
+  resort;
+* **early comparisons** — a comparison is applied as soon as its variables
+  are bound, pushing selections below joins.
+"""
+
+from __future__ import annotations
+
+from ..datalog import ast
+
+
+def term_vars(term: ast.Term) -> set[str]:
+    if isinstance(term, ast.Var):
+        return {term.name}
+    if isinstance(term, ast.BinOp):
+        return term_vars(term.lhs) | term_vars(term.rhs)
+    if isinstance(term, ast.Neg):
+        return term_vars(term.operand)
+    return set()
+
+
+def atom_vars(atom: ast.Atom) -> set[str]:
+    out: set[str] = set()
+    for arg in atom.args:
+        out |= term_vars(arg)
+    return out
+
+
+def order_atoms(atoms: list[ast.Atom]) -> list[ast.Atom]:
+    """Greedy join-order heuristic."""
+    if len(atoms) <= 1:
+        return list(atoms)
+    remaining = list(atoms)
+    ordered = [remaining.pop(0)]
+    bound = atom_vars(ordered[0])
+    while remaining:
+        best_index = 0
+        best_score = -1
+        for index, atom in enumerate(remaining):
+            score = len(atom_vars(atom) & bound)
+            if score > best_score:
+                best_score = score
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound |= atom_vars(chosen)
+    return ordered
+
+
+def ready_comparisons(
+    comparisons: list[ast.Comparison], bound: set[str], applied: set[int]
+) -> list[int]:
+    """Indices of not-yet-applied comparisons whose variables are bound."""
+    ready: list[int] = []
+    for index, comparison in enumerate(comparisons):
+        if index in applied:
+            continue
+        needed = term_vars(comparison.lhs) | term_vars(comparison.rhs)
+        if needed <= bound:
+            ready.append(index)
+    return ready

@@ -1,0 +1,19 @@
+"""Runtime: columnar tables, stored relations, databases, engine facade."""
+
+from .batching import SAMPLE_VAR, batch_transform, prepend_sample
+from .database import Database
+from .engine import ExecutionResult, LobsterEngine, OptimizationConfig
+from .relation import StoredRelation
+from .table import Table
+
+__all__ = [
+    "Database",
+    "ExecutionResult",
+    "LobsterEngine",
+    "OptimizationConfig",
+    "SAMPLE_VAR",
+    "StoredRelation",
+    "Table",
+    "batch_transform",
+    "prepend_sample",
+]

@@ -1,0 +1,60 @@
+"""Batched evaluation (§4.3).
+
+Lobster folds a batch of databases into one by prepending a *sample id*
+column to every relation.  No new APM or RAM constructs are needed: the
+program itself is rewritten so that a fresh variable rides along every
+atom's first argument — joins then implicitly extend their width by one,
+so facts from different samples can never combine, and parallelism over
+the batch falls out of the existing row parallelism.
+"""
+
+from __future__ import annotations
+
+from ..datalog import ast
+
+#: Name of the injected batch variable; double underscores keep it out of
+#: the user's namespace.
+SAMPLE_VAR = "__sample__"
+SAMPLE_TYPE = "usize"
+
+
+def batch_transform(program: ast.ProgramAst) -> ast.ProgramAst:
+    """Rewrite a program for batched evaluation."""
+    sample = ast.Var(SAMPLE_VAR)
+
+    def widen_atom(atom: ast.Atom) -> ast.Atom:
+        return ast.Atom(atom.predicate, (sample,) + atom.args, atom.negated)
+
+    def widen_formula(formula: ast.Formula) -> ast.Formula:
+        if isinstance(formula, ast.Atom):
+            return widen_atom(formula)
+        if isinstance(formula, ast.Comparison):
+            return formula
+        if isinstance(formula, ast.Conj):
+            return ast.Conj(tuple(widen_formula(item) for item in formula.items))
+        if isinstance(formula, ast.Disj):
+            return ast.Disj(tuple(widen_formula(item) for item in formula.items))
+        raise TypeError(f"unexpected formula {formula!r}")
+
+    out = ast.ProgramAst()
+    out.type_aliases = list(program.type_aliases)
+    out.relation_decls = [
+        ast.RelationDecl(
+            decl.name,
+            (SAMPLE_VAR,) + decl.arg_names,
+            (SAMPLE_TYPE,) + decl.arg_types,
+        )
+        for decl in program.relation_decls
+    ]
+    out.rules = [
+        ast.Rule(widen_atom(rule.head), widen_formula(rule.body))
+        for rule in program.rules
+    ]
+    # Fact blocks are replicated per sample at load time by the engine.
+    out.fact_blocks = list(program.fact_blocks)
+    out.queries = list(program.queries)
+    return out
+
+
+def prepend_sample(rows: list[tuple], sample_id: int) -> list[tuple]:
+    return [(sample_id,) + tuple(row) for row in rows]

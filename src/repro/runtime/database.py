@@ -1,0 +1,141 @@
+"""The fact database: EDB input facts + IDB derived relations.
+
+Facts are registered through :meth:`Database.add_facts`; probabilistic
+facts additionally carry probabilities and optional mutual-exclusion
+groups.  Input facts receive globally contiguous ids (returned to the
+caller, which is how the neural bridge routes gradients back), and
+exclusion groups occupy contiguous id ranges — the invariant top-1-proof
+conflict detection relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .relation import StoredRelation
+from .table import Table
+from ..errors import ResolutionError
+from ..provenance.base import Provenance
+
+
+class Database:
+    """Named relations sharing one provenance semiring."""
+
+    def __init__(self, schemas: dict[str, tuple[np.dtype, ...]], provenance: Provenance):
+        self.provenance = provenance
+        self.schemas = dict(schemas)
+        self.relations: dict[str, StoredRelation] = {}
+        self._pending: dict[str, tuple[list[tuple], list[int]]] = {}
+        self._probs: list[float] = []
+        self._groups: list[int] = []
+        self._next_group = 0
+        self.input_probs = np.zeros(0, dtype=np.float64)
+        self.exclusion_groups = np.zeros(0, dtype=np.int64)
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_input_facts(self) -> int:
+        return len(self._probs)
+
+    def relation(self, name: str) -> StoredRelation:
+        rel = self.relations.get(name)
+        if rel is None:
+            if name not in self.schemas:
+                raise ResolutionError(f"unknown relation {name!r}")
+            rel = StoredRelation(name, self.schemas[name], self.provenance)
+            self.relations[name] = rel
+        return rel
+
+    def new_exclusion_group(self) -> int:
+        """Reserve a mutual-exclusion group id for use across several
+        :meth:`add_facts` calls (e.g. op candidates spread over multiple
+        relations).  Calls sharing a group must be issued back-to-back so
+        the group's fact ids stay contiguous — top-1-proof conflict
+        detection relies on that invariant."""
+        group = self._next_group
+        self._next_group += 1
+        return group
+
+    def add_facts(
+        self,
+        name: str,
+        rows: list[tuple],
+        probs: list[float] | np.ndarray | None = None,
+        exclusive: bool = False,
+        group: int | None = None,
+    ) -> np.ndarray:
+        """Register input facts for relation ``name``.
+
+        ``probs`` attaches a probability per row (None = discrete facts).
+        ``exclusive=True`` puts all rows of this call into one fresh
+        mutual-exclusion group (e.g. the outcomes of one softmax);
+        ``group`` joins an existing group from
+        :meth:`new_exclusion_group` instead.
+        Returns the assigned input-fact ids (−1 for discrete facts).
+        """
+        if self._finalized:
+            raise RuntimeError("database already finalized")
+        if name not in self.schemas:
+            self.schemas[name] = self._infer_schema(rows)
+        pending_rows, pending_ids = self._pending.setdefault(name, ([], []))
+        if probs is None:
+            ids = np.full(len(rows), -1, dtype=np.int64)
+            pending_rows.extend(tuple(row) for row in rows)
+            pending_ids.extend([-1] * len(rows))
+            return ids
+        if len(probs) != len(rows):
+            raise ValueError("probs length must match rows length")
+        if group is None:
+            group = -1
+            if exclusive:
+                group = self.new_exclusion_group()
+        start = len(self._probs)
+        ids = np.arange(start, start + len(rows), dtype=np.int64)
+        for row, prob in zip(rows, probs):
+            pending_rows.append(tuple(row))
+            pending_ids.append(len(self._probs))
+            self._probs.append(float(prob))
+            self._groups.append(group)
+        return ids
+
+    @staticmethod
+    def _infer_schema(rows: list[tuple]) -> tuple[np.dtype, ...]:
+        if not rows:
+            return ()
+        arity = len(rows[0])
+        return tuple(
+            np.dtype(np.float64)
+            if any(isinstance(row[j], float) for row in rows)
+            else np.dtype(np.int64)
+            for j in range(arity)
+        )
+
+    def finalize(self) -> None:
+        """Bind the provenance to the input facts and load EDB tables."""
+        if self._finalized:
+            return
+        self.input_probs = np.asarray(self._probs, dtype=np.float64)
+        self.exclusion_groups = np.asarray(self._groups, dtype=np.int64)
+        self.provenance.setup(self.input_probs, self.exclusion_groups)
+        for name, (rows, ids) in self._pending.items():
+            if not rows:
+                continue
+            tags = self.provenance.input_tags(np.asarray(ids, dtype=np.int64))
+            table = Table.from_rows(rows, self.schemas[name], tags)
+            self.relation(name).set_facts(table)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(rel.nbytes() for rel in self.relations.values())
+
+    def result(self, name: str) -> Table:
+        """Final contents of a relation after execution."""
+        return self.relation(name).snapshot("full")
+
+    def result_probs(self, name: str) -> tuple[list[tuple], np.ndarray]:
+        table = self.result(name)
+        return table.rows(), self.provenance.prob(table.tags)

@@ -1,0 +1,220 @@
+"""The Lobster engine facade — the library's main entry point.
+
+Pipeline: Datalog source -> (parse, resolve, stratify) -> RAM -> APM ->
+execution on the virtual device.  Existing Datalog-based neurosymbolic
+programs run without modification; the reasoning mode is chosen by naming
+a provenance semiring, exactly as in the paper.
+
+Example
+-------
+>>> engine = LobsterEngine('''
+...     rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+... ''', provenance="unit")
+>>> db = engine.create_database()
+>>> _ = db.add_facts("edge", [(0, 1), (1, 2)])
+>>> result = engine.run(db)
+>>> sorted(db.result("path").rows())
+[(0, 1), (0, 2), (1, 2)]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batching import SAMPLE_VAR, batch_transform, prepend_sample
+from .database import Database
+from ..apm.compiler import ApmProgram, compile_ram
+from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
+from ..apm.optimizer import optimize
+from ..datalog.parser import parse
+from ..datalog.resolver import resolve
+from ..errors import LobsterError
+from ..gpu.device import DeviceProfile, VirtualDevice
+from ..provenance import registry
+from ..provenance.base import Provenance
+from ..ram.compile_datalog import compile_program
+
+
+@dataclass
+class OptimizationConfig:
+    """Toggles for the paper's optimizations (the Fig. 10 ablation arms)."""
+
+    buffer_reuse: bool = True
+    static_indices: bool = True
+    stratum_scheduling: bool = True
+    apm_passes: bool = True
+
+    @classmethod
+    def none(cls) -> "OptimizationConfig":
+        return cls(False, False, False, False)
+
+
+@dataclass
+class ExecutionResult:
+    """Timing and profiling information for one engine run."""
+
+    wall_seconds: float
+    #: Modeled device overheads (host<->device transfers + allocation).
+    simulated_overhead_seconds: float
+    iterations: int
+    profile: DeviceProfile
+
+    @property
+    def total_seconds(self) -> float:
+        return self.wall_seconds + self.simulated_overhead_seconds
+
+
+class LobsterEngine:
+    """Compile once, run against many databases."""
+
+    def __init__(
+        self,
+        source: str,
+        provenance: str | Provenance = "unit",
+        device: VirtualDevice | None = None,
+        optimizations: OptimizationConfig | None = None,
+        batched: bool = False,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        **provenance_kwargs,
+    ):
+        self.source = source
+        self.batched = batched
+        self.optimizations = optimizations or OptimizationConfig()
+        self.max_iterations = max_iterations
+        if isinstance(provenance, Provenance):
+            import copy
+
+            template = copy.deepcopy(provenance)
+            self._provenance_factory = lambda: copy.deepcopy(template)
+            self.provenance_name = provenance.name
+            self._provenance_kwargs = {}
+        else:
+            self.provenance_name = provenance
+            self._provenance_kwargs = provenance_kwargs
+            self._provenance_factory = lambda: registry.create(
+                provenance, **provenance_kwargs
+            )
+        probe = self._provenance_factory()
+        if not probe.supports_device:
+            raise LobsterError(
+                f"provenance {probe.name!r} has no device implementation "
+                "(the paper's §3.5 limitation); use the Scallop baseline"
+            )
+
+        ast_program = parse(source)
+        self._batch_fact_rows: dict[str, list[tuple]] = {}
+        if batched:
+            ast_program = batch_transform(ast_program)
+            # Fact blocks stay sample-relative: pull them out before
+            # resolution (their arity predates the sample column) and
+            # replicate them per sample at load time.
+            from ..datalog.resolver import _resolve_fact_blocks
+            from ..interning import SymbolTable
+
+            symbols = SymbolTable()
+            self._batch_fact_rows = _resolve_fact_blocks(
+                ast_program.fact_blocks, symbols
+            )
+            ast_program.fact_blocks = []
+            self.resolved = resolve(ast_program, symbols)
+        else:
+            self.resolved = resolve(ast_program)
+        self.ram = compile_program(self.resolved)
+        self.apm: ApmProgram = compile_ram(self.ram)
+        if self.optimizations.apm_passes:
+            self.apm = optimize(self.apm)
+        self.device = device or VirtualDevice(
+            reuse_buffers=self.optimizations.buffer_reuse
+        )
+
+    # ------------------------------------------------------------------
+
+    def create_database(self) -> Database:
+        """A fresh database with this program's schemas and a fresh
+        provenance instance (tags reference per-run input facts)."""
+        database = Database(dict(self.resolved.schemas), self._provenance_factory())
+        for predicate, rows in self.resolved.facts.items():
+            if self.batched:
+                continue  # fact blocks replicated per sample in add_batch
+            database.add_facts(predicate, rows)
+        return database
+
+    def add_batch_facts(
+        self,
+        database: Database,
+        name: str,
+        sample_id: int,
+        rows: list[tuple],
+        probs=None,
+        exclusive: bool = False,
+    ) -> np.ndarray:
+        """Register facts for one sample of a batched run."""
+        if not self.batched:
+            raise LobsterError("engine was not constructed with batched=True")
+        return database.add_facts(
+            name, prepend_sample(rows, sample_id), probs, exclusive
+        )
+
+    def replicate_fact_blocks(self, database: Database, n_samples: int) -> None:
+        """Copy the program's inline fact blocks into every sample."""
+        for predicate, rows in self._batch_fact_rows.items():
+            for sample_id in range(n_samples):
+                database.add_facts(predicate, prepend_sample(rows, sample_id))
+
+    # ------------------------------------------------------------------
+
+    def run(self, database: Database) -> ExecutionResult:
+        """Execute the program to fix point against ``database``."""
+        self.device.profile.reset()
+        interpreter = ApmInterpreter(
+            self.device,
+            enable_static_reuse=self.optimizations.static_indices,
+            enable_buffer_reuse=self.optimizations.buffer_reuse,
+            enable_stratum_scheduling=self.optimizations.stratum_scheduling,
+            max_iterations=self.max_iterations,
+        )
+        start = time.perf_counter()
+        interpreter.run(self.apm, database)
+        wall = time.perf_counter() - start
+        profile = self.device.profile
+        overhead = profile.transfer_seconds + (
+            0.0 if self.optimizations.buffer_reuse else profile.alloc_seconds
+        )
+        return ExecutionResult(wall, overhead, interpreter.iterations_run, profile)
+
+    # ------------------------------------------------------------------
+
+    def query(self, database: Database, name: str) -> list[tuple]:
+        return database.result(name).rows()
+
+    def query_probs(self, database: Database, name: str) -> dict[tuple, float]:
+        rows, probs = database.result_probs(name)
+        return {row: float(p) for row, p in zip(rows, probs)}
+
+    def query_by_sample(self, database: Database, name: str) -> dict[int, dict[tuple, float]]:
+        """Disaggregate a batched result into per-sample databases."""
+        if not self.batched:
+            raise LobsterError("engine was not constructed with batched=True")
+        rows, probs = database.result_probs(name)
+        out: dict[int, dict[tuple, float]] = {}
+        for row, prob in zip(rows, probs):
+            out.setdefault(int(row[0]), {})[tuple(row[1:])] = float(prob)
+        return out
+
+    def backward(
+        self, database: Database, name: str, grad_out: dict[tuple, float]
+    ) -> np.ndarray:
+        """Back-propagate loss gradients on a relation's fact probabilities
+        to the input facts; returns d(loss)/d(input_probs)."""
+        provenance = database.provenance
+        if not provenance.is_differentiable:
+            raise LobsterError(f"provenance {provenance.name!r} is not differentiable")
+        table = database.result(name)
+        rows = table.rows()
+        grads = np.array([grad_out.get(row, 0.0) for row in rows], dtype=np.float64)
+        grad_in = np.zeros(database.n_input_facts, dtype=np.float64)
+        provenance.backward(table.tags, grads, grad_in)
+        return grad_in

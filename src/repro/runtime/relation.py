@@ -1,0 +1,181 @@
+"""Stored relations with semi-naive partitions (§3.4).
+
+Each relation keeps one lexicographically *sorted* ``full`` table (every
+fact with its current best tag) plus a boolean ``recent`` mask marking the
+semi-naive frontier.  :meth:`StoredRelation.advance` folds an iteration's
+delta facts in:
+
+* the delta is sorted and deduplicated, combining duplicate tags with ⊕
+  (the APM ``sort``/``unique⟨⊕⟩`` sequence of Appendix A's "Stratum" rule);
+* the deduplicated delta is merged against ``full`` (the ``merge``
+  instruction); a fact re-enters the frontier if it is brand new or its
+  tag strictly improved (tag saturation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+from ..gpu import kernels
+from ..provenance.base import Provenance
+
+
+class StoredRelation:
+    """One relation's persistent storage across fix-point iterations."""
+
+    def __init__(self, name: str, dtypes: tuple[np.dtype, ...], provenance: Provenance):
+        self.name = name
+        self.dtypes = dtypes
+        self.provenance = provenance
+        self.full = Table.empty(dtypes, provenance)
+        self.recent_mask = np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.dtypes)
+
+    def n_facts(self) -> int:
+        return self.full.n_rows
+
+    def n_recent(self) -> int:
+        return int(self.recent_mask.sum())
+
+    def nbytes(self) -> int:
+        return self.full.nbytes() + self.recent_mask.nbytes
+
+    def snapshot(self, part: str) -> Table:
+        """Return the requested partition: ``full``, ``recent``, ``stable``."""
+        if part == "full":
+            return self.full
+        if part == "recent":
+            return self.full.take(np.flatnonzero(self.recent_mask))
+        if part == "stable":
+            return self.full.take(np.flatnonzero(~self.recent_mask))
+        raise ValueError(f"unknown partition {part!r}")
+
+    def mark_all_recent(self) -> None:
+        self.recent_mask = np.ones(self.full.n_rows, dtype=bool)
+
+    def clear_recent(self) -> None:
+        self.recent_mask = np.zeros(self.full.n_rows, dtype=bool)
+
+    # ------------------------------------------------------------------
+
+    def set_facts(self, table: Table) -> None:
+        """Replace contents with ``table`` (EDB loading); dedups with ⊕."""
+        self.full = Table.empty(self.dtypes, self.provenance)
+        self.recent_mask = np.zeros(0, dtype=bool)
+        if table.n_rows:
+            self.advance(table)
+        self.mark_all_recent()
+
+    def advance(self, delta: Table) -> int:
+        """Fold delta facts in; returns the new frontier size.
+
+        Previously recent facts become stable; delta facts that are new or
+        whose tags improved become the frontier.
+        """
+        prov = self.provenance
+        if delta.n_rows == 0:
+            self.clear_recent()
+            return 0
+
+        delta = self._dedup(delta)
+        if delta.n_rows == 0:
+            self.clear_recent()
+            return 0
+
+        if self.full.n_rows == 0:
+            keep = ~prov.is_absorbing_zero(delta.tags)
+            self.full = delta.take(np.flatnonzero(keep))
+            self.recent_mask = np.ones(self.full.n_rows, dtype=bool)
+            return self.full.n_rows
+
+        # Merge sorted full with sorted delta; an origin column (0 = old,
+        # 1 = new) is the least significant sort key so the existing fact
+        # leads each duplicate group.
+        n_old, n_new = self.full.n_rows, delta.n_rows
+        combined_cols = [
+            np.concatenate([self.full.columns[j], delta.columns[j]])
+            for j in range(self.arity)
+        ]
+        origin = np.concatenate(
+            [np.zeros(n_old, dtype=np.int64), np.ones(n_new, dtype=np.int64)]
+        )
+        combined_tags = np.concatenate([self.full.tags, delta.tags])
+        order = kernels.lex_rank(combined_cols + [origin])
+        combined_cols = [c[order] for c in combined_cols]
+        origin = origin[order]
+        combined_tags = combined_tags[order]
+
+        if self.arity == 0:
+            is_first = np.zeros(n_old + n_new, dtype=bool)
+            if n_old + n_new:
+                is_first[0] = True
+        else:
+            is_first = kernels.row_group_boundaries(combined_cols)
+        segment_ids = np.cumsum(is_first) - 1
+        nseg = int(segment_ids[-1]) + 1 if len(segment_ids) else 0
+        firsts = np.flatnonzero(is_first)
+
+        has_old = origin[firsts] == 0
+
+        # Combine the new rows of each segment with ⊕.
+        new_rows = np.flatnonzero(origin == 1)
+        new_segments = segment_ids[new_rows]
+        seg_has_new = np.zeros(nseg, dtype=bool)
+        seg_has_new[new_segments] = True
+        # Dense renumbering of segments that contain new rows.
+        dense_of_seg = np.cumsum(seg_has_new) - 1
+        combined_new = prov.oplus_reduce(
+            combined_tags[new_rows], dense_of_seg[new_segments], int(seg_has_new.sum())
+        )
+
+        out_tags = combined_tags[firsts].copy()
+        improved = ~has_old & seg_has_new  # brand-new facts
+        both = has_old & seg_has_new
+        if both.any():
+            merged, tag_improved = prov.merge_existing(
+                combined_tags[firsts[both]], combined_new[dense_of_seg[both]]
+            )
+            out_tags[both] = merged
+            improved[both] = tag_improved
+        pure_new = ~has_old
+        if pure_new.any():
+            out_tags[pure_new] = combined_new[dense_of_seg[pure_new]]
+
+        # Drop brand-new facts whose tag is the absorbing zero.
+        keep = np.ones(nseg, dtype=bool)
+        zero = prov.is_absorbing_zero(out_tags)
+        keep[pure_new & zero] = False
+
+        kept = np.flatnonzero(keep)
+        self.full = Table(
+            [c[firsts[kept]] for c in combined_cols],
+            out_tags[kept],
+            len(kept),
+        )
+        self.recent_mask = improved[kept]
+        return int(self.recent_mask.sum())
+
+    # ------------------------------------------------------------------
+
+    def _dedup(self, delta: Table) -> Table:
+        """Sort + unique⟨⊕⟩ a delta table."""
+        prov = self.provenance
+        if self.arity == 0:
+            if delta.n_rows == 0:
+                return delta
+            seg = np.zeros(delta.n_rows, dtype=np.int64)
+            tags = prov.oplus_reduce(delta.tags, seg, 1)
+            return Table([], tags, 1)
+        order = kernels.lex_rank(delta.columns)
+        sorted_cols = [c[order] for c in delta.columns]
+        sorted_tags = delta.tags[order]
+        unique_cols, segment_ids, _ = kernels.unique_rows(sorted_cols)
+        nseg = len(unique_cols[0]) if unique_cols else 0
+        tags = prov.oplus_reduce(sorted_tags, segment_ids, nseg)
+        return Table(unique_cols, tags, nseg)

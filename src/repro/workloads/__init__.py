@@ -1,0 +1,16 @@
+"""The paper's nine benchmark workloads plus the synthetic graph corpus."""
+
+from . import analytics, clutrr, graphs, hwf, pacman, pathfinder, rna, static_analysis
+from .graphs import load_graph
+
+__all__ = [
+    "analytics",
+    "clutrr",
+    "graphs",
+    "hwf",
+    "load_graph",
+    "pacman",
+    "pathfinder",
+    "rna",
+    "static_analysis",
+]

@@ -1,0 +1,82 @@
+"""Discrete graph-analytics workloads: Transitive Closure, Same
+Generation, and CSPA (§6.1, Fig. 13, Tables 3-4).
+
+All three mirror the FVLog/GDLog evaluations: plain Datalog over graph
+EDBs with the unit provenance.  The CSPA program is the Graspan
+context-sensitive value-flow grammar as used by GDLog (10 rules,
+matching Table 2).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .graphs import Edges
+
+TRANSITIVE_CLOSURE = """
+rel path(x, y) :- edge(x, y).
+rel path(x, y) :- path(x, z) and edge(z, y).
+query path
+"""
+
+SAME_GENERATION = """
+rel sg(x, y) :- parent(x, p), parent(y, p), x != y.
+rel sg(x, y) :- parent(x, a), sg(a, b), parent(y, b).
+query sg
+"""
+
+CSPA = """
+rel value_flow(y, x) :- assign(y, x).
+rel value_flow(x, x) :- assign(x, y).
+rel value_flow(x, x) :- assign(y, x).
+rel value_flow(x, y) :- assign(x, z), memory_alias(z, y).
+rel value_flow(x, y) :- value_flow(x, z), value_flow(z, y).
+rel memory_alias(x, w) :- dereference(y, x), value_alias(y, z), dereference(z, w).
+rel memory_alias(x, x) :- assign(y, x).
+rel value_alias(x, y) :- value_flow(z, x), value_flow(z, y).
+rel value_alias(x, y) :- value_flow(z, x), memory_alias(z, w), value_flow(w, y).
+rel value_alias(x, y) :- value_flow(z, x), value_alias(z, w), value_flow(w, y).
+query value_flow
+"""
+
+
+def parent_edges(edges: Edges) -> Edges:
+    """Same Generation treats the graph's edges as child->parent links."""
+    return edges
+
+
+def cspa_instance(name: str, seed: int | None = None) -> dict[str, Edges]:
+    """Synthetic pointer-analysis fact base for a named program.
+
+    ``assign`` edges form the value-flow skeleton (sparse, DAG-leaning,
+    like compiler IR); ``dereference`` edges connect pointers to abstract
+    memory objects.  Sizes follow the relative ordering of the paper's
+    subjects (linux > postgres > httpd).
+    """
+    # Sizes are kept small: the value_alias component is quadratic in the
+    # value-flow closure, and its footprint (not its row throughput) is the
+    # binding constraint in Table 4.  Relative ordering follows the paper's
+    # subjects (linux > postgres > httpd).
+    sizes = {"httpd": (80, 1.4, 0.3), "linux": (105, 1.35, 0.28), "postgres": (100, 1.4, 0.3)}
+    if name not in sizes:
+        raise KeyError(f"unknown CSPA subject {name!r}")
+    n, assign_degree, deref_fraction = sizes[name]
+    if seed is None:
+        seed = zlib.crc32(name.encode())  # deterministic across processes
+    rng = np.random.default_rng(seed)
+
+    n_assign = int(n * assign_degree)
+    src = rng.integers(0, n, size=n_assign)
+    # Bias assignments toward earlier variables: value flow in real IR is
+    # mostly forward, which keeps closure sizes sane.
+    dst = (src * rng.uniform(0.0, 1.0, size=n_assign)).astype(np.int64)
+    assign = sorted({(int(a), int(b)) for a, b in zip(src, dst) if a != b})
+
+    n_deref = int(n * deref_fraction)
+    pointers = rng.integers(0, n, size=n_deref)
+    objects = rng.integers(0, n, size=n_deref)
+    dereference = sorted({(int(p), int(o)) for p, o in zip(pointers, objects)})
+
+    return {"assign": assign, "dereference": dereference}

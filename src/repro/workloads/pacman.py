@@ -1,0 +1,150 @@
+"""The PacMan-Maze task (§6.1): plan a safe path from an image of a maze.
+
+A perception model predicts, per grid cell, the probability that the cell
+is enemy-free ("safe").  The symbolic program computes which first moves
+lie on a safe path from the actor to the goal — forward reachability from
+the actor composed with backward reachability from the goal.  Training
+uses curriculum learning (small maze first), mirrored by the benchmarks'
+grid-size sweeps (Fig. 10a).
+
+The grid is encoded with single-integer cell ids and explicit adjacency
+facts, so the program is pure positive Datalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PROGRAM = """
+type cell_id = u32
+type adjacent(p: cell_id, q: cell_id)
+type safe(p: cell_id)
+type actor(p: cell_id)
+type goal(p: cell_id)
+
+// Forward reachability along safe cells, starting at the actor.
+rel reach(p) :- actor(p).
+rel reach(q) :- reach(p), adjacent(p, q), safe(q).
+
+// Backward reachability: cells from which the goal is attainable.
+rel back(p) :- goal(p).
+rel back(p) :- adjacent(p, q), back(q), safe(p).
+
+// The maze is solvable iff the goal is forward-reachable.
+rel success() :- reach(p), goal(p).
+
+// A good first move is a safe neighbour of the actor that still reaches
+// the goal.
+rel good_move(q) :- actor(p), adjacent(p, q), safe(q), back(q).
+query good_move
+"""
+
+FEATURE_DIM = 6
+
+
+@dataclass
+class MazeInstance:
+    grid: int
+    adjacency: list[tuple[int, int]]
+    enemy: np.ndarray  # bool per cell
+    actor: int
+    goal: int
+    cell_features: np.ndarray  # (cells, FEATURE_DIM)
+    optimal_first_moves: set[int]
+
+
+def grid_adjacency(grid: int) -> list[tuple[int, int]]:
+    edges: list[tuple[int, int]] = []
+    for x in range(grid):
+        for y in range(grid):
+            cell = x * grid + y
+            if x + 1 < grid:
+                edges.append((cell, cell + grid))
+                edges.append((cell + grid, cell))
+            if y + 1 < grid:
+                edges.append((cell, cell + 1))
+                edges.append((cell + 1, cell))
+    return edges
+
+
+def generate_instance(grid: int, seed: int, enemy_density: float = 0.18) -> MazeInstance:
+    """A maze guaranteed solvable: enemies never block a reserved corridor."""
+    rng = np.random.default_rng(seed)
+    cells = grid * grid
+    actor, goal = 0, cells - 1
+
+    # Reserve a monotone staircase corridor, then sprinkle enemies.
+    corridor: set[int] = set()
+    x = y = 0
+    corridor.add(0)
+    while (x, y) != (grid - 1, grid - 1):
+        if x < grid - 1 and (y == grid - 1 or rng.random() < 0.5):
+            x += 1
+        else:
+            y += 1
+        corridor.add(x * grid + y)
+
+    enemy = rng.random(cells) < enemy_density
+    enemy[list(corridor)] = False
+    enemy[[actor, goal]] = False
+
+    features = rng.normal(0.0, 1.0, size=(cells, FEATURE_DIM))
+    features[enemy, 0] += 2.0
+    features[enemy, 1] += 1.0
+
+    moves = _optimal_first_moves(grid, enemy, actor, goal)
+    return MazeInstance(grid, grid_adjacency(grid), enemy, actor, goal, features, moves)
+
+
+def _optimal_first_moves(grid: int, enemy: np.ndarray, actor: int, goal: int) -> set[int]:
+    """Ground truth via BFS over enemy-free cells."""
+    from collections import deque
+
+    cells = grid * grid
+    safe = ~enemy
+    adjacency: dict[int, list[int]] = {c: [] for c in range(cells)}
+    for a, b in grid_adjacency(grid):
+        adjacency[a].append(b)
+
+    def reachable_from(start: int) -> set[int]:
+        if not safe[start]:
+            return set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nxt in adjacency[node]:
+                if safe[nxt] and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    to_goal = reachable_from(goal)
+    return {n for n in adjacency[actor] if safe[n] and n in to_goal}
+
+
+def pretrained_safety_probs(
+    instance: MazeInstance, noise: float = 0.08, seed: int = 0
+) -> np.ndarray:
+    """Simulated converged enemy detector: P(cell is safe)."""
+    rng = np.random.default_rng(seed)
+    logits = np.where(instance.enemy, -3.0, 3.0)
+    logits = logits + rng.normal(0.0, noise * 6.0, size=len(logits))
+    return 1.0 / (1.0 + np.exp(-logits))
+
+
+def populate_database(database, instance: MazeInstance, safety_probs: np.ndarray):
+    """Load one maze; returns the safety fact ids (the differentiable
+    inputs)."""
+    cells = [(c,) for c in range(instance.grid * instance.grid)]
+    ids = database.add_facts("safe", cells, probs=list(safety_probs))
+    database.add_facts("adjacent", instance.adjacency)
+    database.add_facts("actor", [(instance.actor,)])
+    database.add_facts("goal", [(instance.goal,)])
+    return ids
+
+
+def make_dataset(grid: int, n_samples: int, seed: int = 0) -> list[MazeInstance]:
+    return [generate_instance(grid, seed * 7919 + i) for i in range(n_samples)]

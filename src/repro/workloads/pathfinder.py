@@ -1,0 +1,170 @@
+"""The Pathfinder task (§2): are two dots connected by dashed lines?
+
+An image is discretized onto an n x n lattice; a perception model scores
+each lattice edge ("is there a dash connecting these two cells?") and
+each cell ("is there an endpoint dot here?"); the Datalog program computes
+reachability over the predicted graph.
+
+Synthetic instances replace the Long Range Arena image corpus: a
+self-avoiding lattice walk provides the positive dash trail (plus
+distractor trails), and per-edge feature vectors — whose distribution
+depends on dash presence — stand in for pixel patches.  A pretrained
+perception model is simulated by logistic noise around the ground truth,
+with quality controlled by ``noise``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The Fig. 3c program (path + endpoint connectivity).
+PROGRAM = """
+type Cell = u32
+type edge(x: Cell, y: Cell)
+type is_endpoint(x: Cell)
+
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+rel endpoints_connected() :- is_endpoint(x), is_endpoint(y), path(x, y), x != y.
+query endpoints_connected
+"""
+
+FEATURE_DIM = 8
+
+
+@dataclass
+class PathfinderInstance:
+    """One synthetic Pathfinder sample."""
+
+    grid: int
+    lattice_edges: list[tuple[int, int]]  # all candidate edges (both dirs)
+    dash_present: np.ndarray  # bool per lattice edge
+    endpoints: tuple[int, int]
+    label: bool
+    edge_features: np.ndarray  # (n_edges, FEATURE_DIM)
+
+
+def lattice_edges(grid: int) -> list[tuple[int, int]]:
+    """Directed 4-neighbour lattice adjacency over grid cells."""
+    edges: list[tuple[int, int]] = []
+    for x in range(grid):
+        for y in range(grid):
+            cell = x * grid + y
+            if x + 1 < grid:
+                edges.append((cell, cell + grid))
+                edges.append((cell + grid, cell))
+            if y + 1 < grid:
+                edges.append((cell, cell + 1))
+                edges.append((cell + 1, cell))
+    return edges
+
+
+def _self_avoiding_walk(grid: int, length: int, rng: np.random.Generator) -> list[int]:
+    start = int(rng.integers(0, grid * grid))
+    walk = [start]
+    visited = {start}
+    for _ in range(length):
+        x, y = divmod(walk[-1], grid)
+        neighbours = []
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx < grid and 0 <= ny < grid and nx * grid + ny not in visited:
+                neighbours.append(nx * grid + ny)
+        if not neighbours:
+            break
+        step = int(rng.choice(neighbours))
+        walk.append(step)
+        visited.add(step)
+    return walk
+
+
+def generate_instance(
+    grid: int, seed: int, positive: bool | None = None
+) -> PathfinderInstance:
+    """Generate one sample; ``positive`` forces the label when given."""
+    rng = np.random.default_rng(seed)
+    if positive is None:
+        positive = bool(rng.integers(0, 2))
+
+    edges = lattice_edges(grid)
+    edge_index = {edge: i for i, edge in enumerate(edges)}
+    present = np.zeros(len(edges), dtype=bool)
+
+    def mark(walk: list[int]) -> None:
+        for a, b in zip(walk, walk[1:]):
+            present[edge_index[(a, b)]] = True
+            present[edge_index[(b, a)]] = True
+
+    target_length = max(3, grid * 2 // 2 + int(rng.integers(0, grid)))
+    main = _self_avoiding_walk(grid, target_length, rng)
+    mark(main)
+    # Distractor trail, kept away from the main walk's cells.
+    distractor = _self_avoiding_walk(grid, target_length, rng)
+    distractor = [c for c in distractor if c not in set(main)]
+    if len(distractor) >= 2:
+        trimmed: list[int] = [distractor[0]]
+        for cell in distractor[1:]:
+            if (trimmed[-1], cell) in edge_index:
+                trimmed.append(cell)
+        if len(trimmed) >= 2:
+            mark(trimmed)
+
+    if positive:
+        endpoints = (main[0], main[-1])
+    else:
+        # Endpoint off the main trail: connectivity should fail.
+        off_trail = [c for c in range(grid * grid) if c not in set(main)]
+        other = int(rng.choice(off_trail)) if off_trail else main[0]
+        endpoints = (main[0], other)
+
+    # Features: dash-present edges draw from a shifted Gaussian.
+    base = rng.normal(0.0, 1.0, size=(len(edges), FEATURE_DIM))
+    base[present, 0] += 2.5
+    base[present, 1] -= 1.5
+
+    return PathfinderInstance(grid, edges, present, endpoints, positive, base)
+
+
+def pretrained_edge_probs(
+    instance: PathfinderInstance, noise: float = 0.1, seed: int = 0
+) -> np.ndarray:
+    """Simulate a converged CNN: confident, slightly noisy edge scores."""
+    rng = np.random.default_rng(seed)
+    logits = np.where(instance.dash_present, 3.0, -3.0)
+    logits = logits + rng.normal(0.0, noise * 6.0, size=len(logits))
+    return 1.0 / (1.0 + np.exp(-logits))
+
+
+def populate_database(
+    database,
+    instance: PathfinderInstance,
+    edge_probs: np.ndarray,
+    min_prob: float = 0.0,
+):
+    """Load one instance into an engine database; returns edge fact ids.
+
+    ``min_prob`` drops edges the model is confident are absent before they
+    enter the symbolic engine — the standard input-pruning step of
+    neurosymbolic pipelines (applied identically to every engine under
+    comparison).  Returned fact ids align with ``instance.lattice_edges``;
+    pruned edges get id −1.
+    """
+    edge_probs = np.asarray(edge_probs, dtype=np.float64)
+    keep = np.flatnonzero(edge_probs >= min_prob)
+    kept_edges = [instance.lattice_edges[i] for i in keep]
+    kept_ids = database.add_facts("edge", kept_edges, probs=list(edge_probs[keep]))
+    ids = np.full(len(edge_probs), -1, dtype=np.int64)
+    ids[keep] = kept_ids
+    database.add_facts(
+        "is_endpoint", [(instance.endpoints[0],), (instance.endpoints[1],)]
+    )
+    return ids
+
+
+def make_dataset(
+    grid: int, n_samples: int, seed: int = 0
+) -> list[PathfinderInstance]:
+    return [
+        generate_instance(grid, seed * 10_000 + i, positive=bool(i % 2))
+        for i in range(n_samples)
+    ]

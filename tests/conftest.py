@@ -1,0 +1,48 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LobsterEngine
+
+TC_PROGRAM = """
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+query path
+"""
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def run_tc(edges, provenance="unit", **kwargs):
+    """Run transitive closure on the device engine; returns (engine, db)."""
+    engine = LobsterEngine(TC_PROGRAM, provenance=provenance, **kwargs)
+    database = engine.create_database()
+    database.add_facts("edge", edges)
+    engine.run(database)
+    return engine, database
+
+
+def brute_force_closure(edges) -> set[tuple[int, int]]:
+    """Reference transitive closure via repeated squaring over sets."""
+    closure = set(edges)
+    while True:
+        extra = {
+            (a, d)
+            for a, b in closure
+            for c, d in closure
+            if b == c and (a, d) not in closure
+        }
+        if not extra:
+            return closure
+        closure |= extra
+
+
+def random_digraph(rng, n_nodes: int, n_edges: int):
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = rng.integers(0, n_nodes, size=n_edges)
+    return sorted({(int(a), int(b)) for a, b in zip(src, dst) if a != b})

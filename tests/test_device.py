@@ -1,0 +1,96 @@
+"""VirtualDevice memory, transfer, and profile model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DeviceOutOfMemory, VirtualDevice
+from repro.gpu.device import DeviceProfile
+
+
+class TestAllocation:
+    def test_allocate_returns_requested_shape(self):
+        device = VirtualDevice()
+        buffer = device.allocate(100, np.int64)
+        assert buffer.shape == (100,) and buffer.dtype == np.int64
+
+    def test_capacity_enforced(self):
+        device = VirtualDevice(capacity_bytes=1000)
+        with pytest.raises(DeviceOutOfMemory):
+            device.allocate(1000, np.int64)  # 8000 bytes
+
+    def test_free_list_reuse(self):
+        device = VirtualDevice(reuse_buffers=True)
+        first = device.allocate(64, np.int64)
+        device.release(first)
+        second = device.allocate(64, np.int64)
+        assert device.profile.reused_allocations == 1
+        assert second.base is first or second is first
+
+    def test_no_reuse_when_disabled(self):
+        device = VirtualDevice(reuse_buffers=False)
+        first = device.allocate(64, np.int64)
+        device.release(first)
+        device.allocate(64, np.int64)
+        assert device.profile.reused_allocations == 0
+
+    def test_peak_tracking(self):
+        device = VirtualDevice(capacity_bytes=10_000_000)
+        device.allocate(100, np.int64)
+        device.allocate(200, np.int64)
+        assert device.profile.peak_arena_bytes >= 2400
+
+    def test_bucket_rounding(self):
+        assert VirtualDevice._bucket(100) == 128
+        assert VirtualDevice._bucket(128) == 128
+        assert VirtualDevice._bucket(0) == 0
+
+    def test_reset_arena(self):
+        device = VirtualDevice()
+        buffer = device.allocate(10, np.int64)
+        device.release(buffer)
+        device.reset_arena()
+        assert device.live_bytes == 0
+
+
+class TestStatics:
+    def test_static_roundtrip(self):
+        device = VirtualDevice()
+        device.set_static("k", 42)
+        assert device.get_static("k") == 42
+        device.clear_statics()
+        assert device.get_static("k") is None
+
+
+class TestTransferModel:
+    def test_cost_is_latency_plus_bandwidth(self):
+        device = VirtualDevice(
+            bandwidth_bytes_per_s=1e9, transfer_latency_s=1e-5
+        )
+        assert device.transfer_cost(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_record_transfer_accumulates(self):
+        device = VirtualDevice()
+        device.record_transfer(1000, to_device=True)
+        device.record_transfer(2000, to_device=False)
+        assert device.profile.host_to_device_transfers == 1
+        assert device.profile.device_to_host_transfers == 1
+        assert device.profile.transfer_bytes == 3000
+        assert device.profile.transfer_seconds > 0
+
+
+class TestProfile:
+    def test_record_instruction(self):
+        profile = DeviceProfile()
+        profile.record_instruction("Probe")
+        profile.record_instruction("Probe")
+        assert profile.instruction_counts["Probe"] == 2
+        assert profile.kernel_launches == 2
+
+    def test_reset(self):
+        profile = DeviceProfile()
+        profile.record_instruction("Load")
+        profile.reset()
+        assert profile.kernel_launches == 0
+        assert profile.instruction_counts == {}

@@ -1,0 +1,124 @@
+"""Cross-engine equivalence: the device engine vs all baselines.
+
+The paper's correctness claim (§6.1) is that every system under test
+produces identical results; these property tests are that claim's
+executable form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LobsterEngine
+from repro.baselines import FVLogEngine, ProbLogEngine, ScallopInterpreter, SouffleEngine
+
+TC = "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=30,
+    unique=True,
+)
+
+
+@given(edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_discrete_closure_all_engines_agree(edges):
+    lobster = LobsterEngine(TC, provenance="unit")
+    db = lobster.create_database()
+    db.add_facts("edge", edges)
+    lobster.run(db)
+    lobster_rows = set(db.result("path").rows())
+
+    souffle = SouffleEngine(TC)
+    sdb = souffle.create_database()
+    sdb.setdefault("edge", set()).update(edges)
+    souffle.run(sdb)
+    assert sdb.get("path", set()) == lobster_rows
+
+    fvlog = FVLogEngine(TC)
+    fdb = fvlog.create_database()
+    fdb.add_facts("edge", edges)
+    fvlog.run(fdb)
+    assert set(fdb.result("path").rows()) == lobster_rows
+
+    scallop = ScallopInterpreter(TC, provenance="unit")
+    cdb = scallop.create_database()
+    cdb.add_facts("edge", edges)
+    scallop.run(cdb)
+    assert set(cdb.rows("path")) == lobster_rows
+
+
+@given(
+    edge_lists,
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_minmaxprob_probabilities_match_scallop(edges, seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.uniform(0.05, 1.0, size=len(edges))
+
+    lobster = LobsterEngine(TC, provenance="minmaxprob")
+    db = lobster.create_database()
+    db.add_facts("edge", edges, probs=list(probs))
+    lobster.run(db)
+
+    scallop = ScallopInterpreter(TC, provenance="minmaxprob")
+    sdb = scallop.create_database()
+    sdb.add_facts("edge", edges, probs=list(probs))
+    scallop.run(sdb)
+
+    device_probs = lobster.query_probs(db, "path")
+    assert set(device_probs) == set(sdb.rows("path"))
+    for row, prob in device_probs.items():
+        assert prob == pytest.approx(sdb.prob("path", row), abs=1e-9)
+
+
+@given(edge_lists, st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_top1_proof_matches_scallop_top1(edges, seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.uniform(0.05, 1.0, size=len(edges))
+
+    lobster = LobsterEngine(TC, provenance="prob-top-1-proofs", proof_capacity=32)
+    db = lobster.create_database()
+    db.add_facts("edge", edges, probs=list(probs))
+    lobster.run(db)
+
+    scallop = ScallopInterpreter(TC, provenance="top-k-proofs", k=1)
+    sdb = scallop.create_database()
+    sdb.add_facts("edge", edges, probs=list(probs))
+    scallop.run(sdb)
+
+    device_probs = lobster.query_probs(db, "path")
+    assert set(device_probs) == set(sdb.rows("path"))
+    for row, prob in device_probs.items():
+        # Both track one proof; greedy tie-breaking may pick different
+        # equal-probability proofs, so compare probabilities only.
+        assert prob == pytest.approx(sdb.prob("path", row), abs=1e-9)
+
+
+def test_problog_exact_beats_top1_on_diamond():
+    """Exact inference accounts for both routes; top-1 keeps the best."""
+    edges = [(0, 1), (1, 3), (0, 2), (2, 3)]
+    probs = [0.5, 0.5, 0.5, 0.5]
+
+    problog = ProbLogEngine(TC, timeout_seconds=30)
+    pdb = problog.create_database()
+    pdb.add_facts("edge", edges, probs=probs)
+    problog.run(pdb)
+    exact = problog.query_prob(pdb, "path", (0, 3))
+    # P(route A or route B), independent: 0.25 + 0.25 - 0.0625
+    assert exact == pytest.approx(0.4375)
+
+    lobster = LobsterEngine(TC, provenance="prob-top-1-proofs", proof_capacity=16)
+    db = lobster.create_database()
+    db.add_facts("edge", edges, probs=probs)
+    lobster.run(db)
+    top1 = lobster.query_probs(db, "path")[(0, 3)]
+    assert top1 == pytest.approx(0.25)
+    assert exact > top1

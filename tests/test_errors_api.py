@@ -1,0 +1,56 @@
+"""Error hierarchy and public API surface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_lobster_error(self):
+        for name in (
+            "ParseError",
+            "ResolutionError",
+            "StratificationError",
+            "CompileError",
+            "ExecutionError",
+            "DeviceOutOfMemory",
+            "EvaluationTimeout",
+            "ProvenanceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.LobsterError), name
+
+    def test_oom_is_execution_error(self):
+        assert issubclass(errors.DeviceOutOfMemory, errors.ExecutionError)
+
+    def test_parse_error_location_prefix(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert str(error).startswith("3:7:")
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(errors.ParseError("oops")) == "oops"
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for exc_type in (errors.ParseError, errors.DeviceOutOfMemory):
+            try:
+                raise exc_type("boom")
+            except errors.LobsterError as exc:
+                caught.append(exc)
+        assert len(caught) == 2
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_engine_importable_from_top_level(self):
+        assert repro.LobsterEngine is not None
+        assert repro.VirtualDevice is not None

@@ -1,0 +1,77 @@
+"""Bytecode VM edge cases and the §5.2 fast/slow path split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.gpu.bytecode import LOAD_COL, LOAD_CONST, BytecodeProgram, Instr, execute
+
+
+def run(instrs, cols, n):
+    return execute(BytecodeProgram(tuple(instrs)), cols, n)
+
+
+class TestBytecodeVm:
+    def test_load_const_broadcasts(self):
+        out = run([Instr(LOAD_CONST, 7)], [], 4)
+        assert out.tolist() == [7, 7, 7, 7]
+
+    def test_float_const_dtype(self):
+        out = run([Instr(LOAD_CONST, 0.5)], [], 2)
+        assert out.dtype == np.float64
+
+    def test_division_by_zero_yields_inf(self):
+        cols = [np.array([1.0]), np.array([0.0])]
+        out = run([Instr(LOAD_COL, 0), Instr(LOAD_COL, 1), Instr("div")], cols, 1)
+        assert np.isinf(out[0])
+
+    def test_mod_by_zero_is_zero_free(self):
+        cols = [np.array([5]), np.array([0])]
+        out = run([Instr(LOAD_COL, 0), Instr(LOAD_COL, 1), Instr("mod")], cols, 1)
+        # numpy defines x % 0 = 0 with the error state silenced.
+        assert out[0] == 0
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown bytecode op"):
+            run([Instr("frobnicate")], [], 1)
+
+    def test_unbalanced_stack_rejected(self):
+        with pytest.raises(ExecutionError, match="stack"):
+            run([Instr(LOAD_CONST, 1), Instr(LOAD_CONST, 2)], [], 1)
+
+    def test_logical_ops(self):
+        cols = [np.array([1, 0, 1]), np.array([1, 1, 0])]
+        both = run(
+            [Instr(LOAD_COL, 0), Instr(LOAD_COL, 1), Instr("and")], cols, 3
+        )
+        assert both.tolist() == [True, False, False]
+
+    def test_abs_and_neg(self):
+        cols = [np.array([-3, 4])]
+        out = run([Instr(LOAD_COL, 0), Instr("abs")], cols, 2)
+        assert out.tolist() == [3, 4]
+        out = run([Instr(LOAD_COL, 0), Instr("neg")], cols, 2)
+        assert out.tolist() == [3, -4]
+
+    def test_min_max(self):
+        cols = [np.array([1, 5]), np.array([3, 2])]
+        assert run(
+            [Instr(LOAD_COL, 0), Instr(LOAD_COL, 1), Instr("min")], cols, 2
+        ).tolist() == [1, 2]
+        assert run(
+            [Instr(LOAD_COL, 0), Instr(LOAD_COL, 1), Instr("max")], cols, 2
+        ).tolist() == [3, 5]
+
+    def test_stack_depth_accounting(self):
+        program = BytecodeProgram(
+            (
+                Instr(LOAD_COL, 0),
+                Instr(LOAD_CONST, 1),
+                Instr("add"),
+                Instr(LOAD_CONST, 2),
+                Instr("mul"),
+            )
+        )
+        assert program.max_stack_depth() == 2

@@ -1,0 +1,80 @@
+"""Property tests for the open-addressing hash index against brute force."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.hash_table import HashIndex
+
+keys = st.integers(min_value=0, max_value=30)
+
+
+def brute_force_matches(build_rows, probe_rows, width):
+    by_key = defaultdict(list)
+    for index, row in enumerate(build_rows):
+        by_key[row[:width]].append(index)
+    return sorted(
+        (i, j) for i, row in enumerate(probe_rows) for j in by_key.get(row[:width], [])
+    )
+
+
+@given(
+    st.lists(st.tuples(keys, keys), max_size=80),
+    st.lists(st.tuples(keys, keys), max_size=40),
+    st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=60, deadline=None)
+def test_probe_matches_brute_force(build_rows, probe_rows, width):
+    build_cols = [
+        np.array([r[0] for r in build_rows], dtype=np.int64),
+        np.array([r[1] for r in build_rows], dtype=np.int64),
+    ]
+    probe_cols = [
+        np.array([r[0] for r in probe_rows], dtype=np.int64),
+        np.array([r[1] for r in probe_rows], dtype=np.int64),
+    ]
+    index = HashIndex(build_cols, width)
+    probe_ids, build_ids, counts = index.probe(probe_cols[:width])
+    got = sorted(zip(probe_ids.tolist(), build_ids.tolist()))
+    assert got == brute_force_matches(build_rows, probe_rows, width)
+    expected_counts = defaultdict(int)
+    for i, _ in got:
+        expected_counts[i] += 1
+    assert counts.tolist() == [expected_counts[i] for i in range(len(probe_rows))]
+
+
+def test_heavy_duplicates_are_cheap():
+    """A single repeated key must not degrade build (CSR group layout)."""
+    n = 20_000
+    cols = [np.zeros(n, dtype=np.int64), np.arange(n, dtype=np.int64)]
+    index = HashIndex(cols, 1)
+    probe_ids, build_ids, counts = index.probe([np.array([0, 1])])
+    assert counts.tolist() == [n, 0]
+    assert sorted(build_ids.tolist()) == list(range(n))
+
+
+def test_count_only():
+    index = HashIndex([np.array([1, 1, 2])], 1)
+    assert index.count([np.array([1, 2, 3])]).tolist() == [2, 1, 0]
+
+
+def test_empty_build_table():
+    index = HashIndex([np.zeros(0, dtype=np.int64)], 1)
+    probe_ids, build_ids, counts = index.probe([np.array([1, 2])])
+    assert len(probe_ids) == 0
+    assert counts.tolist() == [0, 0]
+
+
+def test_empty_probe():
+    index = HashIndex([np.array([1, 2])], 1)
+    probe_ids, build_ids, counts = index.probe([np.zeros(0, dtype=np.int64)])
+    assert len(probe_ids) == 0 and len(counts) == 0
+
+
+def test_nbytes_positive():
+    index = HashIndex([np.array([1, 2, 3])], 1)
+    assert index.nbytes > 0

@@ -1,0 +1,154 @@
+"""The §4/§5.3 optimizations: semantics preserved, profiles differ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DeviceOutOfMemory, LobsterEngine, OptimizationConfig, VirtualDevice
+from repro.apm import instructions as I
+from repro.apm.optimizer import optimize
+from repro.apm.schedule import plan_transfers
+from tests.conftest import TC_PROGRAM, random_digraph
+
+MULTI_STRATUM = """
+rel tc(x, y) :- e(x, y) or (tc(x, z) and e(z, y)).
+rel pair(x, y) :- tc(x, y), tc(y, x).
+rel flagged(x) :- pair(x, y), mark(y).
+query flagged
+"""
+
+
+def run_with(edges, config: OptimizationConfig):
+    engine = LobsterEngine(TC_PROGRAM, provenance="unit", optimizations=config)
+    db = engine.create_database()
+    db.add_facts("edge", edges)
+    result = engine.run(db)
+    return engine, db, result
+
+
+class TestAblationSemantics:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            OptimizationConfig(),
+            OptimizationConfig.none(),
+            OptimizationConfig(buffer_reuse=False),
+            OptimizationConfig(static_indices=False),
+            OptimizationConfig(stratum_scheduling=False),
+            OptimizationConfig(apm_passes=False),
+        ],
+    )
+    def test_results_identical_under_all_configs(self, config, rng):
+        edges = random_digraph(rng, 30, 80)
+        _, db_opt, _ = run_with(edges, OptimizationConfig())
+        _, db, _ = run_with(edges, config)
+        assert set(db.result("path").rows()) == set(db_opt.result("path").rows())
+
+
+class TestStaticIndices:
+    def test_static_key_assigned_to_edb_side(self, rng):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        builds = [
+            instr
+            for stratum in engine.apm.strata
+            for rule in stratum.rules
+            for variant in rule.variants
+            for instr in variant.instructions
+            if isinstance(instr, I.Build)
+        ]
+        assert any(b.static_key for b in builds)
+
+    def test_reuse_reduces_build_work(self, rng):
+        edges = random_digraph(rng, 40, 120)
+        _, _, with_static = run_with(edges, OptimizationConfig())
+        _, _, without = run_with(edges, OptimizationConfig(static_indices=False))
+        assert (
+            with_static.profile.reused_allocations
+            > without.profile.reused_allocations
+        )
+
+
+class TestBufferReuse:
+    def test_alloc_overhead_counted_when_disabled(self, rng):
+        edges = random_digraph(rng, 30, 90)
+        _, _, result = run_with(edges, OptimizationConfig(buffer_reuse=False))
+        assert result.simulated_overhead_seconds > 0
+        _, _, reused = run_with(edges, OptimizationConfig())
+        assert reused.profile.reused_allocations > 0
+
+
+class TestStratumScheduling:
+    def test_optimized_plan_fewer_transfers(self):
+        engine = LobsterEngine(MULTI_STRATUM, provenance="unit")
+        optimized = plan_transfers(engine.apm, True)
+        naive = plan_transfers(engine.apm, False)
+        assert len(naive) == len(engine.apm.strata)
+        assert len(optimized) <= len(naive)
+
+    def test_scheduling_reduces_transfer_time(self, rng):
+        edges = random_digraph(rng, 30, 80)
+        engine_on = LobsterEngine(MULTI_STRATUM, provenance="unit")
+        db = engine_on.create_database()
+        db.add_facts("e", edges)
+        db.add_facts("mark", [(n,) for n in range(5)])
+        on = engine_on.run(db)
+
+        engine_off = LobsterEngine(
+            MULTI_STRATUM,
+            provenance="unit",
+            optimizations=OptimizationConfig(stratum_scheduling=False),
+        )
+        db2 = engine_off.create_database()
+        db2.add_facts("e", edges)
+        db2.add_facts("mark", [(n,) for n in range(5)])
+        off = engine_off.run(db2)
+
+        assert on.profile.transfer_seconds < off.profile.transfer_seconds
+        assert set(db.result("flagged").rows()) == set(db2.result("flagged").rows())
+
+
+class TestApmPasses:
+    def test_dce_removes_instructions(self):
+        engine = LobsterEngine(MULTI_STRATUM, provenance="unit")
+        unoptimized = LobsterEngine(
+            MULTI_STRATUM,
+            provenance="unit",
+            optimizations=OptimizationConfig(apm_passes=False),
+        )
+        assert engine.apm.instruction_count() <= unoptimized.apm.instruction_count()
+
+    def test_optimize_idempotent(self):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        count = engine.apm.instruction_count()
+        optimize(engine.apm)
+        assert engine.apm.instruction_count() == count
+
+
+class TestDeviceOom:
+    def test_capacity_exceeded_raises(self, rng):
+        edges = random_digraph(rng, 60, 400)
+        device = VirtualDevice(capacity_bytes=50_000)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", device=device)
+        db = engine.create_database()
+        db.add_facts("edge", edges)
+        with pytest.raises(DeviceOutOfMemory):
+            engine.run(db)
+
+    def test_large_capacity_fits(self, rng):
+        edges = random_digraph(rng, 20, 40)
+        device = VirtualDevice(capacity_bytes=200_000_000)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", device=device)
+        db = engine.create_database()
+        db.add_facts("edge", edges)
+        engine.run(db)
+        assert db.result("path").n_rows > 0
+
+    def test_peak_arena_tracked(self, rng):
+        edges = random_digraph(rng, 20, 40)
+        device = VirtualDevice(capacity_bytes=200_000_000)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", device=device)
+        db = engine.create_database()
+        db.add_facts("edge", edges)
+        result = engine.run(db)
+        assert result.profile.peak_arena_bytes > 0

@@ -1,0 +1,178 @@
+"""RAM lowering, planner, and expression backend tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import compile_source
+from repro.gpu import bytecode
+from repro.ram import compile_program, exprs, ir
+from repro.ram.planner import order_atoms
+from repro.datalog import ast
+
+
+class TestExprBackends:
+    """The bytecode (device) and per-row (CPU) backends must agree."""
+
+    exprs_strategy = st.deferred(
+        lambda: st.one_of(
+            st.builds(exprs.Col, st.integers(0, 1)),
+            st.builds(exprs.Const, st.integers(-20, 20)),
+            st.builds(
+                exprs.Binary,
+                st.sampled_from(["+", "-", "*", "min", "max"]),
+                TestExprBackends.exprs_strategy,
+                TestExprBackends.exprs_strategy,
+            ),
+            st.builds(
+                exprs.Unary, st.just("neg"), TestExprBackends.exprs_strategy
+            ),
+        )
+    )
+
+    @given(exprs_strategy, st.lists(st.tuples(st.integers(-50, 50), st.integers(-50, 50)), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bytecode_matches_row_evaluation(self, expr, rows):
+        dtypes = (np.dtype(np.int64), np.dtype(np.int64))
+        program = exprs.to_bytecode(expr, dtypes)
+        cols = [
+            np.array([r[0] for r in rows], dtype=np.int64),
+            np.array([r[1] for r in rows], dtype=np.int64),
+        ]
+        vectorized = bytecode.execute(program, cols, len(rows))
+        for index, row in enumerate(rows):
+            assert vectorized[index] == exprs.evaluate_row(expr, row)
+
+    def test_division_promotes_to_float(self):
+        expr = exprs.Binary("/", exprs.Col(0), exprs.Const(2))
+        assert exprs.expr_dtype(expr, (np.dtype(np.int64),)) == np.dtype(np.float64)
+        program = exprs.to_bytecode(expr, (np.dtype(np.int64),))
+        out = bytecode.execute(program, [np.array([3])], 1)
+        assert out[0] == pytest.approx(1.5)
+
+    def test_comparison_dtype_is_int(self):
+        expr = exprs.Binary("<", exprs.Col(0), exprs.Const(5))
+        assert exprs.expr_dtype(expr, (np.dtype(np.int64),)) == np.dtype(np.int64)
+
+    def test_is_permutation(self):
+        assert exprs.is_permutation([exprs.Col(1), exprs.Col(0)])
+        assert not exprs.is_permutation([exprs.Col(0), exprs.Const(1)])
+
+    def test_max_stack_depth(self):
+        expr = exprs.Binary(
+            "+", exprs.Col(0), exprs.Binary("*", exprs.Col(1), exprs.Const(2))
+        )
+        program = exprs.to_bytecode(expr, (np.dtype(np.int64),) * 2)
+        assert program.max_stack_depth() == 3
+
+
+class TestPlanner:
+    def test_order_atoms_prefers_shared_variables(self):
+        a = ast.Atom("a", (ast.Var("x"),))
+        b = ast.Atom("b", (ast.Var("y"), ast.Var("z")))
+        c = ast.Atom("c", (ast.Var("x"), ast.Var("y")))
+        ordered = order_atoms([a, b, c])
+        # After a(x), atom c shares x; b shares nothing yet.
+        assert [atom.predicate for atom in ordered] == ["a", "c", "b"]
+
+    def test_single_atom(self):
+        a = ast.Atom("a", (ast.Var("x"),))
+        assert order_atoms([a]) == [a]
+
+
+class TestDatalogLowering:
+    def lower(self, source: str) -> ir.RamProgram:
+        return compile_program(compile_source(source))
+
+    def test_tc_structure(self):
+        ram = self.lower(
+            "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
+        )
+        assert len(ram.strata) == 1
+        stratum = ram.strata[0]
+        assert stratum.recursive
+        assert len(stratum.rules) == 2
+        base, recursive = stratum.rules
+        assert base.recursive_atoms == ()
+        assert len(recursive.recursive_atoms) == 1
+
+    def test_join_width(self):
+        ram = self.lower("rel r(x, z) :- a(x, y), b(y, z).")
+        rule = ram.strata[0].rules[0]
+        joins = [
+            node
+            for node in _walk(rule.expr)
+            if isinstance(node, ir.Join)
+        ]
+        assert len(joins) == 1 and joins[0].width == 1
+
+    def test_product_when_no_shared_vars(self):
+        ram = self.lower("rel r(x, y) :- a(x), b(y).")
+        rule = ram.strata[0].rules[0]
+        assert any(isinstance(node, ir.Product) for node in _walk(rule.expr))
+
+    def test_antijoin_for_negation(self):
+        ram = self.lower("rel r(x) :- a(x), not b(x).")
+        rule = ram.strata[0].rules[0]
+        antijoins = [n for n in _walk(rule.expr) if isinstance(n, ir.Antijoin)]
+        assert len(antijoins) == 1 and antijoins[0].width == 1
+
+    def test_selection_pushed_below_join(self):
+        ram = self.lower("rel r(x, z) :- a(x, y), x < 3, b(y, z).")
+        rule = ram.strata[0].rules[0]
+        nodes = _walk(rule.expr)
+        select_depth = min(
+            depth for depth, n in _walk_depth(rule.expr) if isinstance(n, ir.Select)
+        )
+        join_depth = min(
+            depth for depth, n in _walk_depth(rule.expr) if isinstance(n, ir.Join)
+        )
+        assert select_depth > join_depth  # deeper = closer to the scan
+
+    def test_output_dtypes(self):
+        ram = self.lower("rel r(x / y) :- a(x, y).")
+        rule = ram.strata[0].rules[0]
+        assert ir.output_dtypes(rule.expr, ram.schemas) == (np.dtype(np.float64),)
+
+    def test_replace_scan_partition(self):
+        ram = self.lower(
+            "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
+        )
+        recursive = ram.strata[0].rules[1]
+        rewritten = ir.replace_scan_partition(
+            recursive.expr, recursive.recursive_atoms[0], "recent"
+        )
+        partitions = [scan.partition for scan in ir.scans_of(rewritten)]
+        assert partitions.count("recent") == 1
+
+    def test_rule_without_positive_atoms_rejected(self):
+        from repro.errors import CompileError
+
+        resolved = compile_source("rel r(x) :- a(x).")
+        resolved.rules[0].positives.clear()
+        with pytest.raises(CompileError, match="no positive"):
+            compile_program(resolved)
+
+
+def _walk(expr):
+    out = [expr]
+    for attr in ("source", "left", "right"):
+        child = getattr(expr, attr, None)
+        if child is not None:
+            out.extend(_walk(child))
+    if isinstance(expr, ir.Union):
+        for item in expr.items:
+            out.extend(_walk(item))
+    return out
+
+
+def _walk_depth(expr, depth=0):
+    out = [(depth, expr)]
+    for attr in ("source", "left", "right"):
+        child = getattr(expr, attr, None)
+        if child is not None:
+            out.extend(_walk_depth(child, depth + 1))
+    return out

@@ -1,0 +1,109 @@
+"""StoredRelation semi-naive partition / advance semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.provenance import create
+from repro.runtime.relation import StoredRelation
+from repro.runtime.table import Table
+
+INT2 = (np.dtype(np.int64), np.dtype(np.int64))
+
+
+def make_relation(provenance_name="unit", **kwargs):
+    provenance = create(provenance_name, **kwargs)
+    provenance.setup(np.array([0.9, 0.5, 0.3]))
+    return StoredRelation("r", INT2, provenance), provenance
+
+
+def table_from(rows, provenance, tag_ids=None):
+    if tag_ids is None:
+        tags = provenance.one_tags(len(rows))
+    else:
+        tags = provenance.input_tags(np.array(tag_ids))
+    return Table.from_rows(rows, INT2, tags)
+
+
+class TestAdvance:
+    def test_new_facts_become_frontier(self):
+        rel, prov = make_relation()
+        n = rel.advance(table_from([(1, 2), (3, 4)], prov))
+        assert n == 2
+        assert rel.n_facts() == 2
+        assert rel.n_recent() == 2
+
+    def test_duplicates_within_delta_collapse(self):
+        rel, prov = make_relation()
+        n = rel.advance(table_from([(1, 2), (1, 2), (1, 2)], prov))
+        assert n == 1 and rel.n_facts() == 1
+
+    def test_rediscovered_fact_not_recent(self):
+        rel, prov = make_relation()
+        rel.advance(table_from([(1, 2)], prov))
+        n = rel.advance(table_from([(1, 2)], prov))
+        assert n == 0
+        assert rel.n_facts() == 1
+        assert rel.n_recent() == 0
+
+    def test_empty_delta_clears_frontier(self):
+        rel, prov = make_relation()
+        rel.advance(table_from([(1, 2)], prov))
+        assert rel.n_recent() == 1
+        rel.advance(Table.empty(INT2, prov))
+        assert rel.n_recent() == 0
+
+    def test_full_stays_sorted(self):
+        rel, prov = make_relation()
+        rel.advance(table_from([(5, 0), (1, 9)], prov))
+        rel.advance(table_from([(3, 3), (0, 0)], prov))
+        rows = rel.snapshot("full").rows()
+        assert rows == sorted(rows)
+
+    def test_partitions_disjoint_and_complete(self):
+        rel, prov = make_relation()
+        rel.advance(table_from([(1, 1)], prov))
+        rel.advance(table_from([(2, 2)], prov))
+        recent = set(rel.snapshot("recent").rows())
+        stable = set(rel.snapshot("stable").rows())
+        full = set(rel.snapshot("full").rows())
+        assert recent == {(2, 2)}
+        assert stable == {(1, 1)}
+        assert recent | stable == full
+
+    def test_tag_improvement_reenters_frontier(self):
+        rel, prov = make_relation("minmaxprob")
+        rel.advance(table_from([(1, 2)], prov, tag_ids=[2]))  # prob 0.3
+        n = rel.advance(table_from([(1, 2)], prov, tag_ids=[0]))  # prob 0.9
+        assert n == 1
+        assert prov.prob(rel.snapshot("full").tags)[0] == pytest.approx(0.9)
+
+    def test_tag_no_improvement_stays_stable(self):
+        rel, prov = make_relation("minmaxprob")
+        rel.advance(table_from([(1, 2)], prov, tag_ids=[0]))  # 0.9
+        n = rel.advance(table_from([(1, 2)], prov, tag_ids=[2]))  # 0.3
+        assert n == 0
+        assert prov.prob(rel.snapshot("full").tags)[0] == pytest.approx(0.9)
+
+    def test_absorbing_zero_facts_dropped(self):
+        rel, prov = make_relation("minmaxprob")
+        table = table_from([(1, 2)], prov)
+        table.tags[:] = 0.0
+        n = rel.advance(table)
+        assert n == 0 and rel.n_facts() == 0
+
+    def test_arity_zero_relation(self):
+        provenance = create("unit")
+        provenance.setup(np.zeros(0))
+        rel = StoredRelation("flag", (), provenance)
+        n = rel.advance(Table([], provenance.one_tags(3), 3))
+        assert n == 1
+        assert rel.n_facts() == 1
+        n = rel.advance(Table([], provenance.one_tags(1), 1))
+        assert n == 0
+
+    def test_set_facts_marks_recent(self):
+        rel, prov = make_relation()
+        rel.set_facts(table_from([(1, 2), (3, 4)], prov))
+        assert rel.n_recent() == 2

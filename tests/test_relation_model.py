@@ -1,0 +1,112 @@
+"""Model-based property test: StoredRelation vs a dict reference model.
+
+Random sequences of delta batches are folded into both the vectorized
+StoredRelation and a plain-Python model implementing the same ⊕ /
+saturation semantics; contents, tags, and frontier sets must agree after
+every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import create
+from repro.runtime.relation import StoredRelation
+from repro.runtime.table import Table
+
+INT1 = (np.dtype(np.int64),)
+
+delta_batches = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 9)),  # (row value, prob decile)
+        min_size=0,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(delta_batches)
+@settings(max_examples=60, deadline=None)
+def test_minmaxprob_advance_matches_model(batches):
+    provenance = create("minmaxprob")
+    probs = np.linspace(0.05, 0.95, 10)
+    all_probs = []
+    fact_rows = []
+    for batch in batches:
+        for value, decile in batch:
+            fact_rows.append(value)
+            all_probs.append(probs[decile])
+    provenance.setup(np.array(all_probs if all_probs else [0.0]))
+
+    relation = StoredRelation("r", INT1, provenance)
+    model: dict[int, float] = {}
+
+    fact_id = 0
+    for batch in batches:
+        rows = []
+        ids = []
+        for value, _ in batch:
+            rows.append((value,))
+            ids.append(fact_id)
+            fact_id += 1
+        tags = provenance.input_tags(np.array(ids, dtype=np.int64)) if rows else (
+            provenance.one_tags(0)
+        )
+        delta = Table.from_rows(rows, INT1, tags) if rows else Table.empty(INT1, provenance)
+
+        # Reference model: ⊕ = max, frontier = new or strictly improved.
+        expected_frontier = set()
+        batch_best: dict[int, float] = {}
+        for (value,), fid in zip(rows, ids):
+            p = float(provenance.input_probs[fid])
+            batch_best[value] = max(batch_best.get(value, 0.0), p)
+        for value, p in batch_best.items():
+            if value not in model:
+                model[value] = p
+                expected_frontier.add(value)
+            elif p > model[value] + 1e-9:
+                model[value] = p
+                expected_frontier.add(value)
+
+        frontier_count = relation.advance(delta)
+
+        got = dict(
+            zip(
+                (row[0] for row in relation.snapshot("full").rows()),
+                provenance.prob(relation.snapshot("full").tags),
+            )
+        )
+        assert got.keys() == model.keys()
+        for value, p in model.items():
+            assert got[value] == pytest.approx(p)
+        got_frontier = {row[0] for row in relation.snapshot("recent").rows()}
+        assert got_frontier == expected_frontier
+        assert frontier_count == len(expected_frontier)
+
+
+@given(delta_batches)
+@settings(max_examples=40, deadline=None)
+def test_unit_advance_matches_set_model(batches):
+    provenance = create("unit")
+    provenance.setup(np.zeros(0))
+    relation = StoredRelation("r", INT1, provenance)
+    model: set[int] = set()
+
+    for batch in batches:
+        rows = [(value,) for value, _ in batch]
+        delta = (
+            Table.from_rows(rows, INT1, provenance.one_tags(len(rows)))
+            if rows
+            else Table.empty(INT1, provenance)
+        )
+        fresh = {value for value, _ in batch} - model
+        model |= fresh
+        count = relation.advance(delta)
+        assert count == len(fresh)
+        assert {r[0] for r in relation.snapshot("full").rows()} == model
+        assert {r[0] for r in relation.snapshot("recent").rows()} == fresh

@@ -1,0 +1,152 @@
+"""Columnar Table and Database layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.interning import SymbolTable
+from repro.provenance import create
+from repro.runtime.database import Database
+from repro.runtime.table import Table
+
+INT2 = (np.dtype(np.int64), np.dtype(np.int64))
+
+
+def unit_provenance():
+    provenance = create("unit")
+    provenance.setup(np.zeros(0))
+    return provenance
+
+
+class TestTable:
+    def test_from_rows(self):
+        provenance = unit_provenance()
+        table = Table.from_rows([(1, 2), (3, 4)], INT2, provenance.one_tags(2))
+        assert table.n_rows == 2 and table.arity == 2
+        assert table.rows() == [(1, 2), (3, 4)]
+
+    def test_empty(self):
+        table = Table.empty(INT2, unit_provenance())
+        assert table.is_empty() and table.arity == 2
+
+    def test_take(self):
+        provenance = unit_provenance()
+        table = Table.from_rows([(1, 2), (3, 4), (5, 6)], INT2, provenance.one_tags(3))
+        taken = table.take(np.array([2, 0]))
+        assert taken.rows() == [(5, 6), (1, 2)]
+
+    def test_concat(self):
+        provenance = unit_provenance()
+        a = Table.from_rows([(1, 2)], INT2, provenance.one_tags(1))
+        b = Table.from_rows([(3, 4)], INT2, provenance.one_tags(1))
+        merged = Table.concat([a, b], INT2, provenance)
+        assert merged.rows() == [(1, 2), (3, 4)]
+
+    def test_concat_empty_list(self):
+        merged = Table.concat([], INT2, unit_provenance())
+        assert merged.is_empty()
+
+    def test_nbytes(self):
+        provenance = unit_provenance()
+        table = Table.from_rows([(1, 2)], INT2, provenance.one_tags(1))
+        assert table.nbytes() == 16 + 1  # two int64 + one unit tag
+
+    def test_float_columns(self):
+        provenance = unit_provenance()
+        dtypes = (np.dtype(np.float64),)
+        table = Table.from_rows([(1.5,), (2.5,)], dtypes, provenance.one_tags(2))
+        assert table.rows() == [(1.5,), (2.5,)]
+
+
+class TestDatabase:
+    def make(self):
+        return Database({"edge": INT2}, create("minmaxprob"))
+
+    def test_fact_ids_contiguous(self):
+        db = self.make()
+        first = db.add_facts("edge", [(0, 1), (1, 2)], probs=[0.5, 0.6])
+        second = db.add_facts("edge", [(2, 3)], probs=[0.7])
+        assert first.tolist() == [0, 1]
+        assert second.tolist() == [2]
+
+    def test_discrete_facts_get_minus_one(self):
+        db = self.make()
+        ids = db.add_facts("edge", [(0, 1)])
+        assert ids.tolist() == [-1]
+
+    def test_exclusive_group_assignment(self):
+        db = self.make()
+        db.add_facts("edge", [(0, 1), (0, 2)], probs=[0.5, 0.5], exclusive=True)
+        db.add_facts("edge", [(1, 2)], probs=[0.9])
+        db.finalize()
+        assert db.exclusion_groups.tolist() == [0, 0, -1]
+
+    def test_shared_group_across_calls(self):
+        db = self.make()
+        group = db.new_exclusion_group()
+        db.add_facts("edge", [(0, 1)], probs=[0.5], group=group)
+        db.add_facts("edge", [(0, 2)], probs=[0.5], group=group)
+        db.finalize()
+        assert db.exclusion_groups.tolist() == [group, group]
+
+    def test_finalize_binds_provenance(self):
+        db = self.make()
+        db.add_facts("edge", [(0, 1)], probs=[0.25])
+        db.finalize()
+        assert db.provenance.input_probs.tolist() == [0.25]
+        table = db.result("edge")
+        assert db.provenance.prob(table.tags).tolist() == [0.25]
+
+    def test_add_after_finalize_rejected(self):
+        db = self.make()
+        db.finalize()
+        with pytest.raises(RuntimeError):
+            db.add_facts("edge", [(0, 1)])
+
+    def test_unknown_relation_rejected(self):
+        db = self.make()
+        with pytest.raises(ResolutionError):
+            db.relation("nope")
+
+    def test_schema_inference_for_new_relations(self):
+        db = self.make()
+        db.add_facts("score", [(1, 0.5)])
+        assert db.schemas["score"] == (np.dtype(np.int64), np.dtype(np.float64))
+
+    def test_probs_length_mismatch(self):
+        db = self.make()
+        with pytest.raises(ValueError):
+            db.add_facts("edge", [(0, 1)], probs=[0.5, 0.6])
+
+    def test_duplicate_input_facts_oplus(self):
+        db = self.make()
+        db.add_facts("edge", [(0, 1), (0, 1)], probs=[0.3, 0.8])
+        db.finalize()
+        rows, probs = db.result_probs("edge")
+        assert rows == [(0, 1)]
+        assert probs[0] == pytest.approx(0.8)  # minmaxprob oplus = max
+
+
+class TestSymbolTable:
+    def test_roundtrip(self):
+        table = SymbolTable()
+        a = table.intern("alice")
+        b = table.intern("bob")
+        assert table.intern("alice") == a
+        assert table.lookup(b) == "bob"
+        assert "alice" in table and len(table) == 2
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            SymbolTable().lookup(0)
+
+    def test_iteration_order(self):
+        table = SymbolTable(["x", "y"])
+        assert list(table) == ["x", "y"]
+        assert table.id_of("y") == 1
+
+    def test_intern_all(self):
+        table = SymbolTable()
+        assert table.intern_all(["a", "b", "a"]) == [0, 1, 0]

@@ -1,0 +1,172 @@
+"""Property tests on the synthetic data generators.
+
+The benchmark shapes depend on these generators behaving like the corpora
+they stand in for, so their structural invariants get their own tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import clutrr, graphs, hwf, pacman, pathfinder, rna, static_analysis
+from repro.workloads.analytics import cspa_instance
+
+
+class TestGraphGenerators:
+    @pytest.mark.parametrize("name", sorted(graphs.CORPUS))
+    def test_edges_well_formed(self, name):
+        edges = graphs.load_graph(name)
+        n_nodes = max(max(a, b) for a, b in edges) + 1
+        assert all(0 <= a < n_nodes and 0 <= b < n_nodes for a, b in edges)
+        assert len(edges) == len(set(edges)), "duplicate edges"
+
+    def test_mesh_is_symmetric(self):
+        edges = set(graphs.fe_mesh(8))
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_road_grid_mostly_planar_degree(self):
+        edges = graphs.road_grid(10, seed=1)
+        degree = {}
+        for a, _ in edges:
+            degree[a] = degree.get(a, 0) + 1
+        assert max(degree.values()) <= 5  # 4-neighbour + rare diagonal
+
+    def test_citation_graph_is_acyclic_by_construction(self):
+        edges = graphs.citation_graph(100, 3, seed=2)
+        assert all(a > b for a, b in edges)  # later papers cite earlier
+
+
+class TestPathfinderGenerator:
+    @given(st.integers(4, 8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_positive_instances_are_connected(self, grid, seed):
+        instance = pathfinder.generate_instance(grid, seed, positive=True)
+        # BFS over dash-present edges connects the endpoints.
+        present = {
+            edge
+            for edge, has_dash in zip(instance.lattice_edges, instance.dash_present)
+            if has_dash
+        }
+        frontier = {instance.endpoints[0]}
+        seen = set(frontier)
+        while frontier:
+            nxt = {
+                b for a, b in present if a in frontier and b not in seen
+            }
+            seen |= nxt
+            frontier = nxt
+        assert instance.endpoints[1] in seen
+
+    @given(st.integers(4, 8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_negative_instances_are_disconnected(self, grid, seed):
+        instance = pathfinder.generate_instance(grid, seed, positive=False)
+        present = {
+            edge
+            for edge, has_dash in zip(instance.lattice_edges, instance.dash_present)
+            if has_dash
+        }
+        frontier = {instance.endpoints[0]}
+        seen = set(frontier)
+        while frontier:
+            nxt = {b for a, b in present if a in frontier and b not in seen}
+            seen |= nxt
+            frontier = nxt
+        if instance.endpoints[0] != instance.endpoints[1]:
+            assert instance.endpoints[1] not in seen
+
+    def test_pruning_keeps_id_alignment(self):
+        instance = pathfinder.generate_instance(5, seed=3, positive=True)
+        probs = pathfinder.pretrained_edge_probs(instance, seed=3)
+        from repro import LobsterEngine
+
+        engine = LobsterEngine(pathfinder.PROGRAM, provenance="diff-top-1-proofs")
+        db = engine.create_database()
+        ids = pathfinder.populate_database(db, instance, probs, min_prob=0.3)
+        kept = ids >= 0
+        assert kept.sum() == (probs >= 0.3).sum()
+        assert (ids[~kept] == -1).all()
+
+
+class TestPacmanGenerator:
+    @given(st.integers(5, 10), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_corridor_guarantees_solvability(self, grid, seed):
+        instance = pacman.generate_instance(grid, seed)
+        assert instance.optimal_first_moves  # BFS found a safe route
+
+    def test_actor_and_goal_never_enemies(self):
+        for seed in range(10):
+            instance = pacman.generate_instance(6, seed)
+            assert not instance.enemy[instance.actor]
+            assert not instance.enemy[instance.goal]
+
+
+class TestHwfGenerator:
+    @given(st.sampled_from([1, 3, 5, 7, 9, 11, 13]), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_formula_well_formed_and_finite(self, length, seed):
+        instance = hwf.generate_instance(length, seed)
+        assert len(instance.symbols) == length
+        assert np.isfinite(instance.value)
+        for position, symbol in enumerate(instance.symbols):
+            if position % 2 == 0:
+                assert symbol.isdigit()
+            else:
+                assert symbol in hwf.OPS
+        # Probabilities are a distribution per position.
+        assert np.allclose(instance.symbol_probs.sum(axis=1), 1.0)
+
+    def test_no_division_by_zero(self):
+        for seed in range(50):
+            instance = hwf.generate_instance(13, seed)
+            for position, symbol in enumerate(instance.symbols):
+                if symbol == "/":
+                    assert instance.symbols[position + 1] != "0"
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            hwf.generate_instance(4, seed=0)
+
+
+class TestClutrrGenerator:
+    @given(st.integers(2, 10), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_always_composable(self, length, seed):
+        instance = clutrr.generate_instance(length, seed)
+        assert clutrr.compose_chain(instance.chain_relations) == instance.target_relation
+
+    def test_composition_table_closed(self):
+        for r1, r2, r3 in clutrr.composition_table():
+            assert 0 <= r3 < len(clutrr.RELATIONS)
+
+
+class TestRnaGenerator:
+    @given(st.integers(20, 80), st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_candidates_respect_chemistry_and_hairpin(self, length, seed):
+        instance = rna.generate_instance(length, seed)
+        for i, j in instance.pair_candidates:
+            assert j - i >= 4
+            assert (instance.sequence[i], instance.sequence[j]) in rna._COMPLEMENTARY
+        assert ((instance.pair_probs > 0) & (instance.pair_probs < 1)).all()
+        assert len(instance.unpaired_probs) == length
+
+
+class TestPsaAndCspaInstances:
+    def test_subject_sizes_ordered(self):
+        sizes = [static_analysis.SUBJECTS[s][1] for s in static_analysis.SUBJECTS]
+        assert sizes[0] == min(sizes)  # sunflow-core is the smallest
+
+    def test_probabilities_in_range(self):
+        instance = static_analysis.psa_instance("graphchi")
+        for rows, probs in instance["probabilistic"].values():
+            assert len(rows) == len(probs)
+            assert ((np.asarray(probs) > 0) & (np.asarray(probs) <= 1)).all()
+
+    def test_cspa_unknown_subject(self):
+        with pytest.raises(KeyError):
+            cspa_instance("netbsd")

@@ -1,0 +1,267 @@
+"""Workload-level integration tests: every paper task runs end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LobsterEngine
+from repro.baselines import ScallopInterpreter
+from repro.workloads import (
+    analytics,
+    clutrr,
+    graphs,
+    hwf,
+    pacman,
+    pathfinder,
+    rna,
+    static_analysis,
+)
+
+
+class TestGraphCorpus:
+    def test_all_named_graphs_load(self):
+        for name in graphs.CORPUS:
+            edges = graphs.load_graph(name)
+            assert len(edges) > 50, name
+            assert all(isinstance(a, int) and isinstance(b, int) for a, b in edges[:5])
+
+    def test_aliases(self):
+        assert graphs.load_graph("vsp_finan") == graphs.load_graph("vsp-finan")
+
+    def test_deterministic(self):
+        assert graphs.load_graph("Gnu31") == graphs.load_graph("Gnu31")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            graphs.load_graph("nope")
+
+
+class TestPathfinder:
+    def test_positive_instance_connected(self):
+        instance = pathfinder.generate_instance(6, seed=1, positive=True)
+        engine = LobsterEngine(pathfinder.PROGRAM, provenance="unit")
+        db = engine.create_database()
+        present = [
+            e for e, p in zip(instance.lattice_edges, instance.dash_present) if p
+        ]
+        db.add_facts("edge", present)
+        db.add_facts("is_endpoint", [(instance.endpoints[0],), (instance.endpoints[1],)])
+        engine.run(db)
+        assert db.result("endpoints_connected").n_rows == 1
+
+    def test_negative_instance_disconnected(self):
+        instance = pathfinder.generate_instance(6, seed=2, positive=False)
+        engine = LobsterEngine(pathfinder.PROGRAM, provenance="unit")
+        db = engine.create_database()
+        present = [
+            e for e, p in zip(instance.lattice_edges, instance.dash_present) if p
+        ]
+        db.add_facts("edge", present)
+        db.add_facts("is_endpoint", [(instance.endpoints[0],), (instance.endpoints[1],)])
+        engine.run(db)
+        assert db.result("endpoints_connected").n_rows == 0
+
+    def test_probabilistic_inference_accuracy(self):
+        """A simulated pretrained model classifies most samples correctly."""
+        engine = LobsterEngine(
+            pathfinder.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=128
+        )
+        correct = 0
+        samples = pathfinder.make_dataset(6, 10, seed=3)
+        for index, instance in enumerate(samples):
+            db = engine.create_database()
+            probs = pathfinder.pretrained_edge_probs(instance, seed=index)
+            pathfinder.populate_database(db, instance, probs)
+            engine.run(db)
+            connected = engine.query_probs(db, "endpoints_connected")
+            prediction = connected.get((), 0.0) > 0.25
+            correct += prediction == instance.label
+        assert correct >= 8
+
+    def test_lattice_edges_bidirectional(self):
+        edges = set(pathfinder.lattice_edges(4))
+        assert all((b, a) in edges for a, b in edges)
+
+
+class TestPacman:
+    def test_good_moves_match_bfs_ground_truth(self):
+        engine = LobsterEngine(
+            pacman.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=256
+        )
+        for seed in range(4):
+            instance = pacman.generate_instance(7, seed=seed)
+            db = engine.create_database()
+            probs = pacman.pretrained_safety_probs(instance, noise=0.02, seed=seed)
+            pacman.populate_database(db, instance, probs)
+            engine.run(db)
+            moves = engine.query_probs(db, "good_move")
+            predicted = {m[0] for m, p in moves.items() if p > 0.5}
+            assert predicted == instance.optimal_first_moves
+
+    def test_maze_always_solvable(self):
+        for seed in range(6):
+            instance = pacman.generate_instance(9, seed=seed)
+            assert instance.optimal_first_moves, seed
+
+    def test_success_probability_positive(self):
+        instance = pacman.generate_instance(5, seed=1)
+        engine = LobsterEngine(
+            pacman.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=256
+        )
+        db = engine.create_database()
+        pacman.populate_database(
+            db, instance, pacman.pretrained_safety_probs(instance, seed=1)
+        )
+        engine.run(db)
+        success = engine.query_probs(db, "success")
+        assert success.get((), 0.0) > 0.1
+
+
+class TestHwf:
+    def test_formula_evaluation_reference(self):
+        assert hwf.evaluate_formula(list("3+4*2")) == 11
+        assert hwf.evaluate_formula(list("8/4-1")) == 1
+        assert hwf.evaluate_formula(list("9")) == 9
+
+    @pytest.mark.parametrize("length", [1, 3, 5, 7])
+    def test_engine_parses_correct_value(self, length):
+        instance = hwf.generate_instance(length, seed=length)
+        engine = LobsterEngine(
+            hwf.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=32
+        )
+        db = engine.create_database()
+        hwf.populate_database(db, instance, beam=2)
+        engine.run(db)
+        best = hwf.best_answer(engine.query_probs(db, "answer"))
+        assert best == pytest.approx(instance.value)
+
+    def test_matches_scallop_top1(self):
+        instance = hwf.generate_instance(5, seed=9)
+        engine = LobsterEngine(
+            hwf.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=32
+        )
+        db = engine.create_database()
+        hwf.populate_database(db, instance, beam=2)
+        engine.run(db)
+        device_probs = engine.query_probs(db, "answer")
+
+        scallop = ScallopInterpreter(hwf.PROGRAM, provenance="top-k-proofs", k=1)
+        sdb = scallop.create_database()
+        hwf.populate_database(sdb, instance, beam=2)
+        scallop.run(sdb)
+        for row, prob in device_probs.items():
+            assert prob == pytest.approx(sdb.prob("answer", row), abs=1e-9)
+
+    def test_exclusive_candidates_never_conflict(self):
+        """No derived answer may use two digits at the same position."""
+        instance = hwf.generate_instance(3, seed=4)
+        engine = LobsterEngine(
+            hwf.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=32
+        )
+        db = engine.create_database()
+        ids, positions, symbols = hwf.populate_database(db, instance, beam=2)
+        engine.run(db)
+        table = db.result("answer")
+        proofs = table.tags["proof"]
+        position_of = dict(zip(ids.tolist(), positions.tolist()))
+        for proof_row in proofs:
+            used = [position_of[f] for f in proof_row if f in position_of]
+            assert len(used) == len(set(used))
+
+
+class TestClutrr:
+    def test_composition_table_sound(self):
+        table = clutrr.composition_table()
+        for r1, r2, r3 in table:
+            assert clutrr.compose_chain([r1, r2]) == r3
+
+    @pytest.mark.parametrize("length", [2, 4, 6, 10])
+    def test_chain_inference(self, length):
+        instance = clutrr.generate_instance(length, seed=length)
+        engine = LobsterEngine(
+            clutrr.PROGRAM, provenance="diff-top-1-proofs", proof_capacity=32
+        )
+        db = engine.create_database()
+        clutrr.populate_database(db, instance, beam=2)
+        engine.run(db)
+        predicted = clutrr.predicted_relation(engine.query_probs(db, "answer"))
+        assert predicted == instance.target_relation
+
+
+class TestRna:
+    def test_short_sequence_folds(self):
+        instance = rna.generate_instance(28, seed=0)
+        engine = LobsterEngine(
+            rna.PROGRAM, provenance="prob-top-1-proofs", proof_capacity=128
+        )
+        db = engine.create_database()
+        rna.populate_database(db, instance)
+        engine.run(db)
+        folded = engine.query_probs(db, "folded")
+        assert folded and 0 < folded[()] <= 1
+
+    def test_complementary_pairs_only(self):
+        instance = rna.generate_instance(60, seed=1)
+        for i, j in instance.pair_candidates:
+            assert (instance.sequence[i], instance.sequence[j]) in rna._COMPLEMENTARY
+            assert j - i >= 4
+
+    def test_archive_lengths_range(self):
+        lengths = rna.archive_lengths()
+        assert min(lengths) == 28 and max(lengths) == 175
+
+
+class TestStaticAnalysis:
+    def test_all_subjects_run(self):
+        engine = LobsterEngine(static_analysis.PROGRAM, provenance="minmaxprob")
+        instance = static_analysis.psa_instance("sunflow-core")
+        db = engine.create_database()
+        static_analysis.populate_database(db, instance)
+        engine.run(db)
+        total_alarms = (
+            db.result("alarm_critical").n_rows
+            + db.result("alarm_major").n_rows
+            + db.result("alarm_minor").n_rows
+        )
+        assert total_alarms > 0
+
+    def test_alarm_probabilities_ranked(self):
+        engine = LobsterEngine(static_analysis.PROGRAM, provenance="minmaxprob")
+        instance = static_analysis.psa_instance("graphchi")
+        db = engine.create_database()
+        static_analysis.populate_database(db, instance)
+        engine.run(db)
+        for relation in ("alarm_critical", "alarm_major", "alarm_minor"):
+            for _, prob in engine.query_probs(db, relation).items():
+                assert 0 < prob <= 1
+
+    def test_instances_deterministic(self):
+        a = static_analysis.psa_instance("pmd")
+        b = static_analysis.psa_instance("pmd")
+        assert a["discrete"]["sink_at"] == b["discrete"]["sink_at"]
+
+
+class TestAnalyticsPrograms:
+    def test_same_generation_semantics(self):
+        engine = LobsterEngine(analytics.SAME_GENERATION, provenance="unit")
+        db = engine.create_database()
+        # parent edges: 1->0, 2->0 (siblings), 3->1, 4->2 (cousins)
+        db.add_facts("parent", [(1, 0), (2, 0), (3, 1), (4, 2)])
+        engine.run(db)
+        sg = set(db.result("sg").rows())
+        assert (1, 2) in sg and (2, 1) in sg
+        assert (3, 4) in sg and (4, 3) in sg
+        assert (1, 4) not in sg
+
+    def test_cspa_instances_deterministic(self):
+        assert analytics.cspa_instance("httpd") == analytics.cspa_instance("httpd")
+
+    def test_cspa_runs(self):
+        facts = analytics.cspa_instance("httpd")
+        engine = LobsterEngine(analytics.CSPA, provenance="unit")
+        db = engine.create_database()
+        db.add_facts("assign", facts["assign"])
+        db.add_facts("dereference", facts["dereference"])
+        engine.run(db)
+        assert db.result("value_flow").n_rows > len(facts["assign"])
