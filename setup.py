@@ -1,3 +1,54 @@
-from setuptools import setup
+"""Packaging for the Lobster reproduction.
 
-setup()
+``pip install -e .`` puts :mod:`repro` on the path so the examples,
+benchmarks, and tests run without ``PYTHONPATH`` tricks.
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Parse ``repro.__version__`` without importing the package (its
+    dependencies need not be installed at build time)."""
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__\s*=\s*"([^"]+)"', init.read_text(), re.M)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = Path(__file__).parent / "README.md"
+    return readme.read_text() if readme.exists() else ""
+
+
+setup(
+    name="lobster-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of Lobster (ASPLOS 2026): a GPU-accelerated "
+        "framework for neurosymbolic programming, with a compile-once "
+        "serving layer (program cache, incremental evaluation, sessions)"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -5,6 +5,10 @@ Public API highlights:
 
 * :class:`repro.LobsterEngine` — compile and run Datalog programs with a
   chosen provenance semiring on the virtual GPU device.
+* :class:`repro.LobsterSession` — batch many independent databases
+  through one compiled program on a shared device (the serving layer).
+* :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
+  content-addressed compile-once cache behind every engine construction.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
   differentiable).
 * :mod:`repro.baselines` — Scallop/Soufflé/ProbLog/FVLog stand-ins.
@@ -23,13 +27,21 @@ from .errors import (
     StratificationError,
 )
 from .gpu.device import VirtualDevice
+from .runtime.cache import (
+    CompiledProgram,
+    OptimizationConfig,
+    ProgramCache,
+    default_cache,
+)
 from .runtime.database import Database
-from .runtime.engine import ExecutionResult, LobsterEngine, OptimizationConfig
+from .runtime.engine import ExecutionResult, LobsterEngine
+from .runtime.session import LobsterSession, SessionReport
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "CompileError",
+    "CompiledProgram",
     "Database",
     "DeviceOutOfMemory",
     "EvaluationTimeout",
@@ -37,10 +49,14 @@ __all__ = [
     "ExecutionResult",
     "LobsterEngine",
     "LobsterError",
+    "LobsterSession",
     "OptimizationConfig",
     "ParseError",
+    "ProgramCache",
     "ResolutionError",
+    "SessionReport",
     "StratificationError",
     "VirtualDevice",
     "__version__",
+    "default_cache",
 ]

@@ -40,6 +40,13 @@ class CompiledRule:
     target: str
     variants: list[Variant]
     edb_only: bool
+    #: Incremental-only variants: one per non-recursive body atom, with
+    #: that atom's scan loading the DELTA partition (rows added or
+    #: improved since the last run).  Executed only in iteration 1 of an
+    #: incremental pass, where they seed the fix point from the deltas —
+    #: the Δ(A ⋈ B) = ΔA ⋈ B ∪ A ⋈ ΔB expansion over non-recursive atoms
+    #: (recursive atoms are already covered by the RECENT variants).
+    delta_variants: list[Variant] = field(default_factory=list)
 
 
 @dataclass
@@ -51,11 +58,18 @@ class CompiledStratum:
     score: int = 0
 
 
-@dataclass
+@dataclass(eq=False)
 class ApmProgram:
+    """A compiled program.  ``eq=False`` keeps identity hashing so shared
+    artifacts can key weak caches (e.g. the transfer-plan memo)."""
+
     strata: list[CompiledStratum]
     schemas: dict[str, tuple[np.dtype, ...]]
     queries: list[str] = field(default_factory=list)
+    #: Whether any rule negates (AntiProbe / arity-0 PassIfEmpty).  Adding
+    #: EDB facts can *retract* conclusions of such programs, so incremental
+    #: re-evaluation falls back to a from-scratch rerun.
+    has_negation: bool = False
 
     def instruction_count(self) -> int:
         return sum(
@@ -77,6 +91,13 @@ class ApmCompiler:
 
     def compile(self) -> ApmProgram:
         strata: list[CompiledStratum] = []
+        # Negation anywhere disables incremental evaluation program-wide,
+        # so delta variants would be dead weight — skip compiling them.
+        has_negation = any(
+            _has_antijoin(rule.expr)
+            for stratum in self.ram.strata
+            for rule in stratum.rules
+        )
         for stratum_index, stratum in enumerate(self.ram.strata):
             pred_set = set(stratum.predicates)
             rules: list[CompiledRule] = []
@@ -102,13 +123,31 @@ class ApmCompiler:
                             recent_scan=None,
                         )
                     )
+                recursive = set(rule.recursive_atoms)
+                delta_variants = [
+                    self._compile_variant(
+                        replace_scan_partition(rule.expr, scan_index, I.DELTA),
+                        rule.target, pred_set,
+                        key=f"s{stratum_index}r{rule_index}d{scan_index}",
+                        recent_scan=None,
+                    )
+                    for scan_index in range(len(scans_of(rule.expr)))
+                    if scan_index not in recursive
+                ] if not has_negation else []
                 rules.append(
-                    CompiledRule(rule.target, variants, edb_only=not rule.recursive_atoms)
+                    CompiledRule(
+                        rule.target,
+                        variants,
+                        edb_only=not rule.recursive_atoms,
+                        delta_variants=delta_variants,
+                    )
                 )
             strata.append(
                 CompiledStratum(stratum.predicates, rules, stratum.recursive, score)
             )
-        return ApmProgram(strata, dict(self.ram.schemas), list(self.ram.queries))
+        program = ApmProgram(strata, dict(self.ram.schemas), list(self.ram.queries))
+        program.has_negation = has_negation
+        return program
 
     # ------------------------------------------------------------------
 
@@ -267,6 +306,19 @@ class ApmCompiler:
             scan.predicate not in stratum_preds and scan.partition == I.FULL
             for scan in scans_of(expr)
         )
+
+
+def _has_antijoin(expr: ir.RamExpr) -> bool:
+    """Whether a RAM tree negates (lowers to AntiProbe / PassIfEmpty)."""
+    if isinstance(expr, ir.Antijoin):
+        return True
+    if isinstance(expr, (ir.Project, ir.Select)):
+        return _has_antijoin(expr.source)
+    if isinstance(expr, (ir.Join, ir.Product, ir.Intersect)):
+        return _has_antijoin(expr.left) or _has_antijoin(expr.right)
+    if isinstance(expr, ir.Union):
+        return any(_has_antijoin(item) for item in expr.items)
+    return False
 
 
 def compile_ram(ram: ir.RamProgram) -> ApmProgram:

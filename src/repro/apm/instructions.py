@@ -32,6 +32,9 @@ from ..gpu.bytecode import BytecodeProgram
 FULL = "full"
 RECENT = "recent"
 STABLE = "stable"
+#: Rows added or improved since delta tracking began — the partition
+#: incremental re-evaluation seeds its variants from.
+DELTA = "delta"
 
 
 @dataclass(frozen=True)

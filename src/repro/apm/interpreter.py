@@ -29,7 +29,7 @@ import numpy as np
 
 from . import instructions as I
 from .compiler import ApmProgram, CompiledStratum, Variant
-from .schedule import plan_transfers
+from .schedule import cached_plan
 from ..errors import DeviceOutOfMemory, ExecutionError
 from ..gpu import bytecode
 from ..gpu.device import ALLOC_LATENCY_S, VirtualDevice
@@ -50,26 +50,45 @@ class ApmInterpreter:
         enable_buffer_reuse: bool = True,
         enable_stratum_scheduling: bool = True,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        retain_allocation_sites: bool = False,
     ):
         self.device = device
         self.enable_static_reuse = enable_static_reuse
         self.enable_buffer_reuse = enable_buffer_reuse
         self.enable_stratum_scheduling = enable_stratum_scheduling
         self.max_iterations = max_iterations
+        #: Keep allocation sites warm across run() calls — a session
+        #: batching several databases through one program reuses the
+        #: previous database's buffers at the same sites, so only the
+        #: first database pays the simulated allocation latency.  Sites
+        #: are registers, unique program-wide, so retention is safe.
+        self.retain_allocation_sites = retain_allocation_sites
         self.iterations_run = 0
         self._seen_sites: set[str] = set()
         self._retained_bytes = 0
 
     # ------------------------------------------------------------------
 
-    def run(self, program: ApmProgram, database: Database) -> None:
+    def run(
+        self, program: ApmProgram, database: Database, incremental: bool = False
+    ) -> None:
+        """Execute ``program`` to fix point against ``database``.
+
+        ``incremental=True`` runs the delta-seeded warm path: instead of
+        marking every fact recent and replaying EDB rules, iteration 1 of
+        each stratum executes the compiler's delta variants over the rows
+        changed since :meth:`Database.begin_delta_tracking`, and the
+        frontier grows only from their consequences.  Callers are
+        responsible for eligibility (idempotent ⊕, no negation).
+        """
         database.finalize()
-        transfers = plan_transfers(program, self.enable_stratum_scheduling)
+        transfers = cached_plan(program, self.enable_stratum_scheduling)
         for index, stratum in enumerate(program.strata):
             self._charge_transfers(transfers.get(index, ()), database, to_device=True)
             self.device.clear_statics()
-            self._seen_sites.clear()
-            self._run_stratum(stratum, database, program)
+            if not self.retain_allocation_sites:
+                self._seen_sites.clear()
+            self._run_stratum(stratum, database, program, incremental)
             self._charge_transfers(
                 transfers.get(index, ()), database, to_device=False
             )
@@ -86,11 +105,21 @@ class ApmInterpreter:
     # ------------------------------------------------------------------
 
     def _run_stratum(
-        self, stratum: CompiledStratum, database: Database, program: ApmProgram
+        self,
+        stratum: CompiledStratum,
+        database: Database,
+        program: ApmProgram,
+        incremental: bool = False,
     ) -> None:
         provenance = database.provenance
         for predicate in stratum.predicates:
-            database.relation(predicate).mark_all_recent()
+            relation = database.relation(predicate)
+            if incremental:
+                # Seed the frontier with only the rows changed this pass
+                # (e.g. EDB facts folded directly into an IDB predicate).
+                relation.seed_recent_from_changes()
+            else:
+                relation.mark_all_recent()
 
         # Without buffer reuse (§4.1), temporaries released across
         # iterations fragment the arena and their footprint accumulates —
@@ -104,7 +133,16 @@ class ApmInterpreter:
             self.iterations_run += 1
             deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
             for rule in stratum.rules:
-                if rule.edb_only and iteration > 1:
+                if incremental and iteration == 1:
+                    # Δ(A ⋈ B) over non-recursive atoms: each delta
+                    # variant scans one atom's changed rows against the
+                    # others' full partitions.  Recursive atoms are
+                    # handled by the normal RECENT variants below.
+                    for variant in rule.delta_variants:
+                        self._execute_variant(variant, database, deltas, iteration)
+                if rule.edb_only and (incremental or iteration > 1):
+                    # An incremental pass never replays flat rules in
+                    # full — their prior output is already stored.
                     continue
                 for variant in rule.variants:
                     self._execute_variant(variant, database, deltas, iteration)

@@ -25,6 +25,8 @@ def optimize(program: ApmProgram) -> ApmProgram:
         for rule in stratum.rules:
             for index, variant in enumerate(rule.variants):
                 rule.variants[index] = _optimize_variant(variant)
+            for index, variant in enumerate(rule.delta_variants):
+                rule.delta_variants[index] = _optimize_variant(variant)
     return program
 
 

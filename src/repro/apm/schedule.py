@@ -14,18 +14,37 @@ each crossing.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from .compiler import ApmProgram
 from . import instructions as I
 
 #: Transfer plan per stratum index: (relations in, relations out).
 TransferPlan = dict[int, tuple[tuple[str, ...], tuple[str, ...]]]
 
+#: Plans memoized per compiled program (compile once, plan once): the
+#: plan depends only on the program and the optimized flag, and compiled
+#: programs are shared across engines through the program cache.
+_PLAN_CACHE: "WeakKeyDictionary[ApmProgram, dict[bool, TransferPlan]]" = (
+    WeakKeyDictionary()
+)
+
+
+def cached_plan(program: ApmProgram, optimized: bool) -> TransferPlan:
+    """Memoized :func:`plan_transfers` keyed on program identity."""
+    plans = _PLAN_CACHE.get(program)
+    if plans is None:
+        plans = _PLAN_CACHE.setdefault(program, {})
+    if optimized not in plans:
+        plans[optimized] = plan_transfers(program, optimized)
+    return plans[optimized]
+
 
 def stratum_inputs(program: ApmProgram, index: int) -> set[str]:
     """Relations scanned by stratum ``index``."""
     read: set[str] = set()
     for rule in program.strata[index].rules:
-        for variant in rule.variants:
+        for variant in rule.variants + rule.delta_variants:
             for instruction in variant.instructions:
                 if isinstance(instruction, I.Load):
                     read.add(instruction.predicate)

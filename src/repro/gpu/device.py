@@ -57,6 +57,40 @@ class DeviceProfile:
     def reset(self) -> None:
         self.__init__()
 
+    def snapshot(self) -> "DeviceProfile":
+        """An independent copy of the current counters, for computing
+        per-run deltas on a device shared across runs (sessions)."""
+        copy = DeviceProfile(
+            **{
+                key: value
+                for key, value in self.__dict__.items()
+                if key != "instruction_counts"
+            }
+        )
+        copy.instruction_counts = dict(self.instruction_counts)
+        return copy
+
+    def since(self, before: "DeviceProfile") -> "DeviceProfile":
+        """Counters accumulated after ``before`` was snapshotted.
+
+        ``peak_arena_bytes`` is a high-water mark, not a counter, so the
+        later absolute value is reported rather than a difference.
+        """
+        delta = DeviceProfile()
+        for key, value in self.__dict__.items():
+            if key == "instruction_counts":
+                continue
+            if key == "peak_arena_bytes":
+                setattr(delta, key, value)
+            else:
+                setattr(delta, key, value - getattr(before, key))
+        delta.instruction_counts = {
+            name: count - before.instruction_counts.get(name, 0)
+            for name, count in self.instruction_counts.items()
+            if count - before.instruction_counts.get(name, 0)
+        }
+        return delta
+
 
 class VirtualDevice:
     """Arena-allocating register store with a memory and transfer model.

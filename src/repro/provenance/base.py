@@ -32,6 +32,12 @@ class Provenance(ABC):
     #: Whether the semiring has vectorized (device) operators.  The general
     #: top-k-proofs semiring is CPU-only, matching the paper's limitation.
     supports_device: bool = True
+    #: Whether ⊕ is idempotent (x ⊕ x = x).  Semi-naive *incremental*
+    #: re-evaluation re-derives overlapping facts from warm state, which
+    #: only preserves semantics when repeated disjunction is absorbed;
+    #: non-idempotent semirings (e.g. add-mult-prob's sum) fall back to a
+    #: from-scratch rerun instead.
+    idempotent_oplus: bool = False
 
     def __init__(self) -> None:
         self.n_inputs = 0

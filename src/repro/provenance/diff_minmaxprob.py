@@ -20,6 +20,7 @@ class DiffMinMaxProbProvenance(Provenance):
 
     name = "diff-minmaxprob"
     is_differentiable = True
+    idempotent_oplus = True  # ⊕ = max (witness rides along)
 
     _dtype = np.dtype([("prob", "f8"), ("fact", "i8")])
 

@@ -20,6 +20,7 @@ class MinMaxProbProvenance(Provenance):
     """Probabilities with ⊗ = min and ⊕ = max."""
 
     name = "minmaxprob"
+    idempotent_oplus = True  # ⊕ = max
 
     def tag_dtype(self) -> np.dtype:
         return _DTYPE

@@ -31,6 +31,7 @@ class Top1ProofProvenance(Provenance):
     """Probabilistic reasoning tracking a single most-likely proof."""
 
     name = "prob-top-1-proofs"
+    idempotent_oplus = True  # ⊕ keeps the single most likely proof
 
     def __init__(self, proof_capacity: int = DEFAULT_PROOF_CAPACITY):
         super().__init__()

@@ -48,6 +48,7 @@ class TopKProofsDeviceProvenance(Provenance):
     """Vectorized top-k proof tracking (k >= 1)."""
 
     name = "top-k-proofs-device"
+    idempotent_oplus = True  # ⊕ unions proof sets, deduped, keeps top k
 
     def __init__(self, k: int = DEFAULT_K, proof_capacity: int = DEFAULT_PROOF_CAPACITY):
         super().__init__()

@@ -18,6 +18,7 @@ class UnitProvenance(Provenance):
     """Discrete Datalog: all tags are the single unit value."""
 
     name = "unit"
+    idempotent_oplus = True
 
     def tag_dtype(self) -> np.dtype:
         return _DTYPE

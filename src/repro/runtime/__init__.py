@@ -1,19 +1,35 @@
-"""Runtime: columnar tables, stored relations, databases, engine facade."""
+"""Runtime: columnar tables, stored relations, databases, engine facade,
+program cache, and multi-query serving sessions."""
 
 from .batching import SAMPLE_VAR, batch_transform, prepend_sample
+from .cache import (
+    CompiledProgram,
+    OptimizationConfig,
+    ProgramCache,
+    compile_source,
+    default_cache,
+)
 from .database import Database
-from .engine import ExecutionResult, LobsterEngine, OptimizationConfig
+from .engine import ExecutionResult, LobsterEngine
 from .relation import StoredRelation
+from .session import LobsterSession, SessionReport, SubmittedQuery
 from .table import Table
 
 __all__ = [
+    "CompiledProgram",
     "Database",
     "ExecutionResult",
     "LobsterEngine",
+    "LobsterSession",
     "OptimizationConfig",
+    "ProgramCache",
     "SAMPLE_VAR",
+    "SessionReport",
     "StoredRelation",
+    "SubmittedQuery",
     "Table",
     "batch_transform",
+    "compile_source",
+    "default_cache",
     "prepend_sample",
 ]

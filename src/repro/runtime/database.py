@@ -6,6 +6,15 @@ groups.  Input facts receive globally contiguous ids (returned to the
 caller, which is how the neural bridge routes gradients back), and
 exclusion groups occupy contiguous id ranges — the invariant top-1-proof
 conflict detection relies on.
+
+A database may keep receiving facts *after* it has been evaluated: the
+new rows accumulate as a pending delta, and the next :meth:`finalize`
+folds them into the stored relations (marking them recent/changed) so an
+incremental re-run can seed the semi-naive frontier from them instead of
+recomputing the full fix point.  When incremental evaluation is unsound
+for the program or provenance, :meth:`rebuild` replays every fact ever
+added through a fresh cold load — re-running then matches a from-scratch
+evaluation by construction.
 """
 
 from __future__ import annotations
@@ -25,19 +34,30 @@ class Database:
         self.provenance = provenance
         self.schemas = dict(schemas)
         self.relations: dict[str, StoredRelation] = {}
+        #: Facts added but not yet loaded into relations (this round).
         self._pending: dict[str, tuple[list[tuple], list[int]]] = {}
+        #: Every fact already loaded, kept for cold rebuilds.
+        self._loaded: dict[str, tuple[list[tuple], list[int]]] = {}
         self._probs: list[float] = []
         self._groups: list[int] = []
         self._next_group = 0
         self.input_probs = np.zeros(0, dtype=np.float64)
         self.exclusion_groups = np.zeros(0, dtype=np.int64)
         self._finalized = False
+        #: Set by the engine after a successful run; a later add_facts
+        #: then makes the next run a warm (incremental or rebuilt) one.
+        self.evaluated = False
 
     # ------------------------------------------------------------------
 
     @property
     def n_input_facts(self) -> int:
         return len(self._probs)
+
+    @property
+    def has_pending_facts(self) -> bool:
+        """Whether facts were added since the last :meth:`finalize`."""
+        return any(rows for rows, _ in self._pending.values())
 
     def relation(self, name: str) -> StoredRelation:
         rel = self.relations.get(name)
@@ -74,9 +94,10 @@ class Database:
         ``group`` joins an existing group from
         :meth:`new_exclusion_group` instead.
         Returns the assigned input-fact ids (−1 for discrete facts).
+
+        Calling this after the database has been evaluated marks the rows
+        as a pending delta; the next engine run folds them in.
         """
-        if self._finalized:
-            raise RuntimeError("database already finalized")
         if name not in self.schemas:
             self.schemas[name] = self._infer_schema(rows)
         pending_rows, pending_ids = self._pending.setdefault(name, ([], []))
@@ -113,8 +134,16 @@ class Database:
         )
 
     def finalize(self) -> None:
-        """Bind the provenance to the input facts and load EDB tables."""
-        if self._finalized:
+        """Bind the provenance to the input facts and load EDB tables.
+
+        Idempotent; may be called again after more :meth:`add_facts` —
+        fact ids are stable across rounds (the probability/group arrays
+        only ever extend), so previously issued tags stay valid.  Rows
+        landing in an already-populated relation are folded in through
+        :meth:`~repro.runtime.relation.StoredRelation.advance`, which
+        marks them recent/changed for incremental re-evaluation.
+        """
+        if self._finalized and not self.has_pending_facts:
             return
         self.input_probs = np.asarray(self._probs, dtype=np.float64)
         self.exclusion_groups = np.asarray(self._groups, dtype=np.int64)
@@ -124,8 +153,43 @@ class Database:
                 continue
             tags = self.provenance.input_tags(np.asarray(ids, dtype=np.int64))
             table = Table.from_rows(rows, self.schemas[name], tags)
-            self.relation(name).set_facts(table)
+            rel = self.relation(name)
+            if rel.n_facts():
+                rel.advance(table)
+            else:
+                rel.set_facts(table)
+            loaded_rows, loaded_ids = self._loaded.setdefault(name, ([], []))
+            loaded_rows.extend(rows)
+            loaded_ids.extend(ids)
+        self._pending.clear()
         self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Incremental-evaluation support
+
+    def begin_delta_tracking(self) -> None:
+        """Zero every relation's ``changed`` mask so the next finalize +
+        run can identify exactly the rows this round added/improved."""
+        for rel in self.relations.values():
+            rel.begin_delta_tracking()
+
+    def rebuild(self) -> None:
+        """Drop all derived state and stage every fact ever added for a
+        cold reload (the sound fallback when incremental re-evaluation is
+        unavailable).  Fact ids, probabilities, and exclusion groups are
+        preserved, so gradients and returned ids remain meaningful."""
+        merged: dict[str, tuple[list[tuple], list[int]]] = {}
+        for name, (rows, ids) in self._loaded.items():
+            merged[name] = (list(rows), list(ids))
+        for name, (rows, ids) in self._pending.items():
+            rows_acc, ids_acc = merged.setdefault(name, ([], []))
+            rows_acc.extend(rows)
+            ids_acc.extend(ids)
+        self._pending = merged
+        self._loaded = {}
+        self.relations = {}
+        self._finalized = False
+        self.evaluated = False
 
     # ------------------------------------------------------------------
 

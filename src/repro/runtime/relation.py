@@ -10,6 +10,15 @@ delta facts in:
 * the deduplicated delta is merged against ``full`` (the ``merge``
   instruction); a fact re-enters the frontier if it is brand new or its
   tag strictly improved (tag saturation).
+
+Alongside the per-iteration ``recent`` frontier, each relation keeps a
+``changed`` mask accumulating every row added or improved since
+:meth:`StoredRelation.begin_delta_tracking`.  Incremental re-evaluation
+zeroes the mask before folding new EDB facts in, then seeds its delta
+variants from the ``delta`` partition (the changed rows) — including
+changes produced by *earlier strata* of the same pass, which the
+per-iteration ``recent`` mask has already forgotten by the time a later
+stratum runs.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ class StoredRelation:
         self.provenance = provenance
         self.full = Table.empty(dtypes, provenance)
         self.recent_mask = np.zeros(0, dtype=bool)
+        self.changed_mask = np.zeros(0, dtype=bool)
 
     # ------------------------------------------------------------------
 
@@ -47,13 +57,16 @@ class StoredRelation:
         return self.full.nbytes() + self.recent_mask.nbytes
 
     def snapshot(self, part: str) -> Table:
-        """Return the requested partition: ``full``, ``recent``, ``stable``."""
+        """Return the requested partition: ``full``, ``recent``,
+        ``stable``, or ``delta`` (rows changed since tracking began)."""
         if part == "full":
             return self.full
         if part == "recent":
             return self.full.take(np.flatnonzero(self.recent_mask))
         if part == "stable":
             return self.full.take(np.flatnonzero(~self.recent_mask))
+        if part == "delta":
+            return self.full.take(np.flatnonzero(self.changed_mask))
         raise ValueError(f"unknown partition {part!r}")
 
     def mark_all_recent(self) -> None:
@@ -62,12 +75,26 @@ class StoredRelation:
     def clear_recent(self) -> None:
         self.recent_mask = np.zeros(self.full.n_rows, dtype=bool)
 
+    def begin_delta_tracking(self) -> None:
+        """Zero the ``changed`` mask; subsequent :meth:`advance` calls
+        accumulate added/improved rows into it."""
+        self.changed_mask = np.zeros(self.full.n_rows, dtype=bool)
+
+    def n_changed(self) -> int:
+        return int(self.changed_mask.sum())
+
+    def seed_recent_from_changes(self) -> None:
+        """Make the semi-naive frontier exactly the changed rows (the
+        incremental-pass replacement for :meth:`mark_all_recent`)."""
+        self.recent_mask = self.changed_mask.copy()
+
     # ------------------------------------------------------------------
 
     def set_facts(self, table: Table) -> None:
         """Replace contents with ``table`` (EDB loading); dedups with ⊕."""
         self.full = Table.empty(self.dtypes, self.provenance)
         self.recent_mask = np.zeros(0, dtype=bool)
+        self.changed_mask = np.zeros(0, dtype=bool)
         if table.n_rows:
             self.advance(table)
         self.mark_all_recent()
@@ -79,6 +106,8 @@ class StoredRelation:
         whose tags improved become the frontier.
         """
         prov = self.provenance
+        if len(self.changed_mask) != self.full.n_rows:
+            self.changed_mask = np.zeros(self.full.n_rows, dtype=bool)
         if delta.n_rows == 0:
             self.clear_recent()
             return 0
@@ -92,6 +121,7 @@ class StoredRelation:
             keep = ~prov.is_absorbing_zero(delta.tags)
             self.full = delta.take(np.flatnonzero(keep))
             self.recent_mask = np.ones(self.full.n_rows, dtype=bool)
+            self.changed_mask = np.ones(self.full.n_rows, dtype=bool)
             return self.full.n_rows
 
         # Merge sorted full with sorted delta; an origin column (0 = old,
@@ -152,6 +182,14 @@ class StoredRelation:
         zero = prov.is_absorbing_zero(out_tags)
         keep[pure_new & zero] = False
 
+        # Carry each surviving old row's ``changed`` flag through the
+        # merge (row positions shift as new facts interleave), then fold
+        # this advance's improvements in.
+        changed = np.zeros(nseg, dtype=bool)
+        old_rows = order[firsts[has_old]]  # positions < n_old by sort order
+        changed[has_old] = self.changed_mask[old_rows]
+        changed |= improved
+
         kept = np.flatnonzero(keep)
         self.full = Table(
             [c[firsts[kept]] for c in combined_cols],
@@ -159,6 +197,7 @@ class StoredRelation:
             len(kept),
         )
         self.recent_mask = improved[kept]
+        self.changed_mask = changed[kept]
         return int(self.recent_mask.sum())
 
     # ------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""The compile-once program cache: identity, keying, and reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LobsterEngine, OptimizationConfig, ProgramCache
+from repro.runtime.cache import cache_key, compile_source, normalize_source
+
+TC = "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
+
+
+class TestKeying:
+    def test_identical_sources_share_a_key(self):
+        assert cache_key(TC, "unit", OptimizationConfig(), False) == cache_key(
+            TC, "unit", OptimizationConfig(), False
+        )
+
+    def test_normalization_ignores_layout_and_comments(self):
+        noisy = "\n  // transitive closure\n\n   " + TC + "   \n\n"
+        assert normalize_source(noisy) == normalize_source(TC)
+        assert cache_key(noisy, "unit", OptimizationConfig(), False) == cache_key(
+            TC, "unit", OptimizationConfig(), False
+        )
+
+    def test_distinct_programs_distinct_keys(self):
+        other = "rel p(x) :- q(x)."
+        assert cache_key(TC, "unit", OptimizationConfig(), False) != cache_key(
+            other, "unit", OptimizationConfig(), False
+        )
+
+    def test_provenance_and_config_and_batched_partition_keys(self):
+        base = cache_key(TC, "unit", OptimizationConfig(), False)
+        assert base != cache_key(TC, "minmaxprob", OptimizationConfig(), False)
+        assert base != cache_key(TC, "unit", OptimizationConfig.none(), False)
+        assert base != cache_key(TC, "unit", OptimizationConfig(), True)
+
+    def test_inner_whitespace_is_preserved(self):
+        # String literals must never make two distinct programs collide.
+        a = 'rel name = {("a b",)}\nrel out(x) :- name(x).'
+        b = 'rel name = {("a  b",)}\nrel out(x) :- name(x).'
+        assert normalize_source(a) != normalize_source(b)
+
+
+class TestProgramCache:
+    def test_hit_returns_identical_artifact(self):
+        cache = ProgramCache()
+        first, hit1 = cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        second, hit2 = cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        assert (hit1, hit2) == (False, True)
+        assert second is first  # same object: zero recompilation
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_miss_on_different_program(self):
+        cache = ProgramCache()
+        cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        _, hit = cache.get_or_compile("rel p(x) :- q(x).", "unit", OptimizationConfig(), False)
+        assert not hit
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = ProgramCache(capacity=1)
+        cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        cache.get_or_compile("rel p(x) :- q(x).", "unit", OptimizationConfig(), False)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        # The first program was evicted: fetching it again is a miss.
+        _, hit = cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        assert not hit
+
+    def test_clear(self):
+        cache = ProgramCache()
+        cache.get_or_compile(TC, "unit", OptimizationConfig(), False)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+
+class TestEngineIntegration:
+    def test_engines_share_compiled_program(self):
+        cache = ProgramCache()
+        first = LobsterEngine(TC, cache=cache)
+        second = LobsterEngine(TC, cache=cache)
+        assert not first.cache_hit and second.cache_hit
+        assert second.apm is first.apm
+        assert second.resolved is first.resolved
+        assert second.compile_seconds == 0.0
+        assert first.compile_seconds > 0.0
+
+    def test_cache_false_bypasses(self):
+        cache = ProgramCache()
+        LobsterEngine(TC, cache=cache)
+        bypass = LobsterEngine(TC, cache=False)
+        assert not bypass.cache_hit
+        assert cache.stats.lookups == 1  # bypass never touched the cache
+
+    def test_cached_engines_compute_identical_results(self):
+        cache = ProgramCache()
+        edges = [(0, 1), (1, 2), (2, 3)]
+        rows = []
+        for _ in range(3):
+            engine = LobsterEngine(TC, cache=cache)
+            db = engine.create_database()
+            db.add_facts("edge", edges)
+            result = engine.run(db)
+            rows.append(sorted(db.result("path").rows()))
+            assert result.program_from_cache == engine.cache_hit
+        assert rows[0] == rows[1] == rows[2]
+        assert cache.stats.misses == 1 and cache.stats.hits == 2
+
+    def test_proof_capacity_does_not_affect_compilation(self):
+        # Compilation is provenance-independent; same source + provenance
+        # name share an artifact even with different runtime kwargs.
+        cache = ProgramCache()
+        a = LobsterEngine(TC, provenance="prob-top-1-proofs", proof_capacity=8, cache=cache)
+        b = LobsterEngine(TC, provenance="prob-top-1-proofs", proof_capacity=64, cache=cache)
+        assert b.cache_hit and b.apm is a.apm
+        # ... but each engine's databases get their own provenance config.
+        assert a.create_database().provenance.proof_capacity == 8
+        assert b.create_database().provenance.proof_capacity == 64
+
+    def test_ablation_arms_do_not_share_artifacts(self):
+        cache = ProgramCache()
+        full = LobsterEngine(TC, cache=cache)
+        none = LobsterEngine(TC, optimizations=OptimizationConfig.none(), cache=cache)
+        assert not none.cache_hit
+        assert none.apm is not full.apm
+
+    def test_compile_errors_are_not_cached(self):
+        cache = ProgramCache()
+        with pytest.raises(Exception):
+            LobsterEngine("rel broken(x :- q(x).", cache=cache)
+        assert len(cache) == 0
+
+
+class TestCompileSource:
+    def test_artifact_reports_compile_time(self):
+        compiled = compile_source(TC, "unit", OptimizationConfig(), False)
+        assert compiled.compile_seconds > 0.0
+        assert compiled.apm.instruction_count() > 0
+        assert not compiled.apm.has_negation
+
+    def test_negation_flag(self):
+        compiled = compile_source(
+            "rel ok(x) :- v(x), not bad(x).", "unit", OptimizationConfig(), False
+        )
+        assert compiled.apm.has_negation

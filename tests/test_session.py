@@ -1,0 +1,159 @@
+"""Multi-query sessions: batching databases through one compiled program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LobsterEngine, LobsterError, LobsterSession, ProgramCache
+
+TC = "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
+
+DATASETS = [
+    [(0, 1), (1, 2)],
+    [(1, 2), (2, 3), (3, 1)],
+    [(0, 2)],
+    [(5, 6), (6, 7), (7, 8), (8, 5)],
+]
+
+
+def brute_closure(edges):
+    closure = set(edges)
+    while True:
+        extra = {
+            (a, d)
+            for a, b in closure
+            for c, d in closure
+            if b == c and (a, d) not in closure
+        }
+        if not extra:
+            return closure
+        closure |= extra
+
+
+class TestSessionBatching:
+    def test_batches_independent_databases(self):
+        engine = LobsterEngine(TC, provenance="unit")
+        session = LobsterSession(engine)
+        tickets = []
+        for edges in DATASETS:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            tickets.append(session.submit(db))
+        assert len(session) == len(DATASETS) >= 3
+        report = session.run_all()
+        assert len(report.results) == len(DATASETS)
+        for ticket, edges in zip(tickets, DATASETS):
+            assert set(session.database(ticket).result("path").rows()) == brute_closure(edges)
+            assert session.result(ticket).iterations >= 1
+
+    def test_submit_without_database_creates_one(self):
+        engine = LobsterEngine(TC)
+        session = LobsterSession(engine)
+        ticket = session.submit()
+        session.database(ticket).add_facts("edge", [(0, 1)])
+        session.run_all()
+        assert session.database(ticket).result("path").rows() == [(0, 1)]
+
+    def test_run_all_skips_completed_queries(self):
+        engine = LobsterEngine(TC)
+        session = LobsterSession(engine)
+        db = session.create_database()
+        db.add_facts("edge", [(0, 1)])
+        first_ticket = session.submit(db)
+        session.run_all()
+        first_result = session.result(first_ticket)
+
+        later = session.create_database()
+        later.add_facts("edge", [(2, 3)])
+        session.submit(later)
+        report = session.run_all()
+        assert len(report.results) == 1  # only the new query ran
+        assert session.result(first_ticket) is first_result
+        assert not session.pending
+
+    def test_ticket_errors(self):
+        session = LobsterSession(LobsterEngine(TC))
+        with pytest.raises(LobsterError, match="unknown session ticket"):
+            session.database(99)
+        ticket = session.submit()
+        with pytest.raises(LobsterError, match="has not been run"):
+            session.result(ticket)
+
+
+class TestSessionAmortization:
+    def test_compile_once_across_queries(self):
+        cache = ProgramCache()
+        engine = LobsterEngine(TC, cache=cache)
+        session = LobsterSession(engine)
+        for edges in DATASETS:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            session.submit(db)
+        report = session.run_all()
+        assert cache.stats.misses == 1  # one compile for the whole batch
+        assert report.compile_seconds == engine.compile_seconds
+        assert report.total_seconds >= report.steady_state_seconds
+
+    def test_allocation_sites_stay_warm_across_queries(self):
+        engine = LobsterEngine(TC, provenance="unit")
+        session = LobsterSession(engine)
+        for edges in DATASETS:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            session.submit(db)
+        report = session.run_all()
+        # Later queries hit the warm allocation sites of earlier ones:
+        # strictly more reuse than any single query could produce alone.
+        solo_engine = LobsterEngine(TC, provenance="unit", cache=False)
+        solo_reused = 0
+        for edges in DATASETS:
+            db = solo_engine.create_database()
+            db.add_facts("edge", edges)
+            solo_reused += solo_engine.run(db).profile.reused_allocations
+        assert report.profile.reused_allocations > solo_reused
+
+    def test_per_query_profiles_are_deltas(self):
+        engine = LobsterEngine(TC, provenance="unit")
+        session = LobsterSession(engine)
+        for edges in DATASETS[:3]:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            session.submit(db)
+        report = session.run_all()
+        total_launches = sum(r.profile.kernel_launches for r in report.results)
+        assert report.profile.kernel_launches == total_launches
+
+    def test_results_match_standalone_engines(self):
+        engine = LobsterEngine(TC, provenance="minmaxprob")
+        session = LobsterSession(engine)
+        tickets = []
+        for edges in DATASETS:
+            db = session.create_database()
+            db.add_facts("edge", edges, probs=[0.9] * len(edges))
+            tickets.append(session.submit(db))
+        session.run_all()
+        for ticket, edges in zip(tickets, DATASETS):
+            solo = LobsterEngine(TC, provenance="minmaxprob", cache=False)
+            solo_db = solo.create_database()
+            solo_db.add_facts("edge", edges, probs=[0.9] * len(edges))
+            solo.run(solo_db)
+            batch_probs = engine.query_probs(session.database(ticket), "path")
+            solo_probs = solo.query_probs(solo_db, "path")
+            assert batch_probs.keys() == solo_probs.keys()
+            for row, prob in batch_probs.items():
+                assert prob == pytest.approx(solo_probs[row], abs=1e-12)
+
+    def test_incremental_rerun_inside_session(self):
+        engine = LobsterEngine(TC, provenance="unit")
+        session = LobsterSession(engine)
+        db = session.create_database()
+        db.add_facts("edge", [(0, 1)])
+        ticket = session.submit(db)
+        session.run_all()
+        # New facts re-enqueue the same database for an incremental pass.
+        db.add_facts("edge", [(1, 2)])
+        session.submit(db)
+        report = session.run_all()
+        assert report.results[-1].incremental
+        assert set(db.result("path").rows()) == {(0, 1), (1, 2), (0, 2)}
+        assert session.result(ticket).incremental is False

@@ -99,11 +99,17 @@ class TestDatabase:
         table = db.result("edge")
         assert db.provenance.prob(table.tags).tolist() == [0.25]
 
-    def test_add_after_finalize_rejected(self):
+    def test_add_after_finalize_marks_pending_delta(self):
         db = self.make()
+        db.add_facts("edge", [(0, 1)])
         db.finalize()
-        with pytest.raises(RuntimeError):
-            db.add_facts("edge", [(0, 1)])
+        assert not db.has_pending_facts
+        db.add_facts("edge", [(1, 2)])
+        assert db.has_pending_facts
+        db.finalize()  # folds the delta into the stored relation
+        assert not db.has_pending_facts
+        assert sorted(db.result("edge").rows()) == [(0, 1), (1, 2)]
+        assert db.relation("edge").n_recent() == 1  # only the new row
 
     def test_unknown_relation_rejected(self):
         db = self.make()
