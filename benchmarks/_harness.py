@@ -58,8 +58,10 @@ def record(benchmark, fn) -> None:
 
 
 #: Paper-shaped tables are also appended here, so they survive pytest's
-#: output capture when running without ``-s``.
-RESULTS_PATH = Path(__file__).parent / "results.txt"
+#: output capture when running without ``-s``.  Lives under results/
+#: alongside the versioned summaries that ``run_all.py`` writes.
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "tables.txt"
 
 
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
@@ -73,5 +75,6 @@ def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
         lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
     text = "\n".join(lines) + "\n"
     print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
     with RESULTS_PATH.open("a") as handle:
         handle.write(text)

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Run every ``bench_*`` file and write a versioned markdown summary.
+
+Replaces the old hand-edited ``results.txt`` workflow: each invocation
+runs the full benchmark suite (optionally several trials with warmups),
+collects per-file wall times, and writes a timestamped markdown report
+to ``benchmarks/results/`` — date, Python version, library version, and
+mean ± stddev per benchmark — so runs on different machines or commits
+can be diffed instead of overwritten.
+
+Usage::
+
+    python benchmarks/run_all.py                   # one trial, no warmup
+    python benchmarks/run_all.py --trials 3 --warmups 1
+    python benchmarks/run_all.py --filter scaleout # only matching files
+
+Benchmarks are executed through pytest one file at a time (they are
+pytest modules — module fixtures hold the heavy measurements), with
+``--benchmark-disable`` so pytest-benchmark's own repetition machinery
+stays out of the timing loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def read_version() -> str:
+    # Same anchored parse as setup.py, so the two can never disagree on
+    # what counts as the version line.
+    import re
+
+    init = REPO_ROOT / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__\s*=\s*"([^"]+)"', init.read_text(), re.M)
+    return match.group(1) if match else "unknown"
+
+
+def bench_files(pattern: str | None) -> list[Path]:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if pattern:
+        files = [path for path in files if pattern in path.name]
+    return files
+
+
+def run_once(path: Path, env: dict) -> tuple[float, bool]:
+    """One timed pytest run of a benchmark file; returns (seconds, ok).
+    Failure output is surfaced so a FAIL row is diagnosable."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(path),
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"--- {path.name} failed (exit {proc.returncode}) ---", file=sys.stderr)
+        print(proc.stdout[-4000:], file=sys.stderr)
+        print(proc.stderr[-2000:], file=sys.stderr)
+    return time.perf_counter() - start, proc.returncode == 0
+
+
+def summarize(times: list[float]) -> str:
+    mean = statistics.mean(times)
+    stddev = statistics.stdev(times) if len(times) > 1 else 0.0
+    return f"{mean:.2f}s ± {stddev:.2f}s"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=1, help="timed runs per file")
+    parser.add_argument("--warmups", type=int, default=0, help="untimed runs first")
+    parser.add_argument("--filter", default=None, help="substring filter on file names")
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="set LOBSTER_SCALEOUT_TINY=1 (CI smoke sizes)",
+    )
+    args = parser.parse_args()
+
+    files = bench_files(args.filter)
+    if not files:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if args.tiny:
+        env["LOBSTER_SCALEOUT_TINY"] = "1"
+
+    rows: list[tuple[str, str, str, int]] = []
+    all_ok = True
+    for path in files:
+        print(f"== {path.name} ({args.warmups} warmup, {args.trials} trial(s))")
+        for _ in range(args.warmups):
+            run_once(path, env)
+        times: list[float] = []
+        ok = True
+        for _ in range(max(args.trials, 1)):
+            seconds, passed = run_once(path, env)
+            times.append(seconds)
+            ok = ok and passed
+        all_ok = all_ok and ok
+        status = "ok" if ok else "FAIL"
+        rows.append((path.name, status, summarize(times), len(times)))
+        print(f"   {status}: {summarize(times)}")
+
+    stamp = datetime.datetime.now()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"summary-{stamp:%Y%m%d-%H%M%S}.md"
+    lines = [
+        f"# Benchmark summary — {stamp:%Y-%m-%d %H:%M:%S}",
+        "",
+        f"- lobster-repro version: `{read_version()}`",
+        f"- Python: `{platform.python_version()}` on `{platform.platform()}`",
+        f"- trials per file: {args.trials} (warmups: {args.warmups})",
+        f"- mode: {'tiny (smoke sizes)' if args.tiny else 'full'}",
+        "",
+        "| benchmark | status | wall time (mean ± stddev) | trials |",
+        "|---|---|---|---|",
+    ]
+    for name, status, summary, n in rows:
+        lines.append(f"| `{name}` | {status} | {summary} | {n} |")
+    lines.append("")
+    lines.append(
+        "Wall time is the end-to-end pytest run of the file; the modeled "
+        "device metrics (simulated seconds, exchange bytes) are in the "
+        "paper-shaped tables appended to `results/tables.txt`."
+    )
+    out.write_text("\n".join(lines) + "\n")
+    print(f"\nwrote {out}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

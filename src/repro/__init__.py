@@ -6,7 +6,10 @@ Public API highlights:
 * :class:`repro.LobsterEngine` — compile and run Datalog programs with a
   chosen provenance semiring on the virtual GPU device.
 * :class:`repro.LobsterSession` — batch many independent databases
-  through one compiled program on a shared device (the serving layer).
+  through one compiled program on a shared device (the serving layer),
+  optionally round-robined across a :class:`repro.DevicePool`.
+* :mod:`repro.dist` — sharded multi-device execution: hash-partitioned
+  frontiers, exchange operators, and ``LobsterEngine(shards=N)``.
 * :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
   content-addressed compile-once cache behind every engine construction.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
@@ -26,7 +29,8 @@ from .errors import (
     ResolutionError,
     StratificationError,
 )
-from .gpu.device import VirtualDevice
+from .dist import DevicePool, HashPartitioner, ShardedExecutor
+from .gpu.device import DeviceProfile, VirtualDevice
 from .runtime.cache import (
     CompiledProgram,
     OptimizationConfig,
@@ -37,13 +41,17 @@ from .runtime.database import Database
 from .runtime.engine import ExecutionResult, LobsterEngine
 from .runtime.session import LobsterSession, SessionReport
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "CompileError",
     "CompiledProgram",
     "Database",
     "DeviceOutOfMemory",
+    "DevicePool",
+    "DeviceProfile",
+    "HashPartitioner",
+    "ShardedExecutor",
     "EvaluationTimeout",
     "ExecutionError",
     "ExecutionResult",

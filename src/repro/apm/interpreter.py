@@ -85,13 +85,27 @@ class ApmInterpreter:
         transfers = cached_plan(program, self.enable_stratum_scheduling)
         for index, stratum in enumerate(program.strata):
             self._charge_transfers(transfers.get(index, ()), database, to_device=True)
-            self.device.clear_statics()
-            if not self.retain_allocation_sites:
-                self._seen_sites.clear()
+            self.begin_stratum()
             self._run_stratum(stratum, database, program, incremental)
             self._charge_transfers(
                 transfers.get(index, ()), database, to_device=False
             )
+
+    def begin_stratum(self) -> None:
+        """The per-stratum reset protocol, shared with the sharded
+        executor (which drives strata itself): static hash indices are
+        data-dependent (always reset); allocation sites persist across
+        strata only under retention; retained-temporary accounting — the
+        no-buffer-reuse failure mode — is per-stratum.
+        """
+        self.device.clear_statics()
+        if not self.retain_allocation_sites:
+            self._seen_sites.clear()
+        # Without buffer reuse (§4.1), temporaries released across
+        # iterations fragment the arena and their footprint accumulates —
+        # the failure mode GDLog's over-allocate-and-reuse fix addresses.
+        # With reuse, an iteration's temporaries recycle into the next.
+        self._retained_bytes = 0
 
     def _charge_transfers(self, spec, database: Database, to_device: bool) -> None:
         if not spec:
@@ -120,12 +134,6 @@ class ApmInterpreter:
                 relation.seed_recent_from_changes()
             else:
                 relation.mark_all_recent()
-
-        # Without buffer reuse (§4.1), temporaries released across
-        # iterations fragment the arena and their footprint accumulates —
-        # the failure mode GDLog's over-allocate-and-reuse fix addresses.
-        # With reuse, an iteration's temporaries recycle into the next.
-        self._retained_bytes = 0
 
         iteration = 0
         while True:
@@ -178,6 +186,10 @@ class ApmInterpreter:
             registers[name] = array
             if not charge:
                 return
+            # Charged registers are kernel outputs: tick the modeled
+            # compute clock (launch overhead + per-row cost, §5.3-style
+            # accounting) alongside the allocation counters.
+            self.device.record_kernel(len(array))
             profile.allocation_count += 1
             if self.enable_buffer_reuse and name in self._seen_sites:
                 profile.reused_allocations += 1

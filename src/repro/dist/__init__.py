@@ -1,0 +1,28 @@
+"""Sharded multi-device execution (the scale-out layer).
+
+Four pieces compose the subsystem:
+
+* :mod:`~repro.dist.partition` — deterministic hash ownership of rows
+  (:class:`HashPartitioner`);
+* :mod:`~repro.dist.exchange` — shuffle/all-gather collectives that
+  re-partition per-iteration deltas and charge the device cost model for
+  every cross-device byte (:class:`ExchangeOperator`);
+* :mod:`~repro.dist.executor` — the sharded semi-naive loop
+  (:class:`ShardedExecutor`), reached via ``LobsterEngine(shards=N)``;
+* :mod:`~repro.dist.pool` — round-robin device pools for throughput
+  serving of independent session queries (:class:`DevicePool`).
+"""
+
+from .exchange import ExchangeOperator
+from .executor import ShardedExecutor, ShardView
+from .partition import HashPartitioner, hash_rows
+from .pool import DevicePool
+
+__all__ = [
+    "DevicePool",
+    "ExchangeOperator",
+    "HashPartitioner",
+    "ShardView",
+    "ShardedExecutor",
+    "hash_rows",
+]

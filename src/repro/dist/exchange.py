@@ -1,0 +1,93 @@
+"""Exchange (shuffle) operators between shard devices.
+
+Distributed query engines re-partition intermediate results between
+pipeline stages; here the unit of exchange is the per-iteration delta of
+one predicate.  Two collectives cover the sharded semi-naive loop:
+
+* :meth:`ExchangeOperator.shuffle` — hash-routes every locally derived
+  row to its owner shard.  Rows that stay local are free; every
+  cross-shard row is charged to the *sending* device's exchange model
+  (``latency + bytes / exchange_bandwidth`` of simulated time), so the
+  cost of poor partitioning is visible in the merged profile.
+* :meth:`ExchangeOperator.all_gather` — after the owner ⊕-merges its
+  partition, the deduplicated delta is broadcast so every shard can fold
+  the identical global delta into its replica of the closure.  Each
+  owner is charged once per peer.
+
+Both return plain :class:`~repro.runtime.table.Table` objects; all cost
+accounting goes through :class:`~repro.gpu.device.VirtualDevice`
+counters, never the host clock.
+"""
+
+from __future__ import annotations
+
+from .partition import HashPartitioner
+from ..gpu.device import VirtualDevice
+from ..provenance.base import Provenance
+from ..runtime.table import Table
+
+
+class ExchangeOperator:
+    """Shuffle/broadcast collectives over a fixed pool of shard devices."""
+
+    def __init__(self, partitioner: HashPartitioner, devices: list[VirtualDevice]):
+        if partitioner.n_shards != len(devices):
+            raise ValueError(
+                f"partitioner has {partitioner.n_shards} shards but "
+                f"{len(devices)} devices were supplied"
+            )
+        self.partitioner = partitioner
+        self.devices = devices
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.devices)
+
+    # ------------------------------------------------------------------
+
+    def shuffle(
+        self,
+        local_tables: list[Table],
+        dtypes,
+        provenance: Provenance,
+    ) -> list[Table]:
+        """Re-partition per-shard delta tables to their owner shards.
+
+        ``local_tables[s]`` holds the rows shard ``s`` derived this
+        iteration; the result's entry ``t`` concatenates every row owned
+        by shard ``t`` (source-shard order, so the routing is
+        deterministic).  Cross-shard rows charge the sender's exchange
+        cost model.
+        """
+        n = self.n_shards
+        inbound: list[list[Table]] = [[] for _ in range(n)]
+        for source, table in enumerate(local_tables):
+            if table.n_rows == 0:
+                continue
+            for target, part in enumerate(self.partitioner.split(table)):
+                if part.n_rows == 0:
+                    continue
+                if target != source:
+                    self.devices[source].record_exchange(part.nbytes())
+                inbound[target].append(part)
+        return [
+            Table.concat(parts, dtypes, provenance) for parts in inbound
+        ]
+
+    def all_gather(
+        self,
+        owner_tables: list[Table],
+        dtypes,
+        provenance: Provenance,
+    ) -> Table:
+        """Broadcast each owner's merged delta to every peer and return
+        the concatenated global delta (identical on all shards)."""
+        n = self.n_shards
+        for owner, table in enumerate(owner_tables):
+            if table.n_rows == 0:
+                continue
+            nbytes = table.nbytes()
+            for peer in range(n):
+                if peer != owner:
+                    self.devices[owner].record_exchange(nbytes)
+        return Table.concat(list(owner_tables), dtypes, provenance)

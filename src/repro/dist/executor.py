@@ -1,0 +1,240 @@
+"""Sharded semi-naive execution across a pool of virtual devices.
+
+One compiled :class:`~repro.apm.compiler.ApmProgram` runs on ``N``
+:class:`~repro.gpu.device.VirtualDevice`\\ s under a *partitioned
+frontier, replicated closure* scheme — the distributed semi-naive
+evaluation used by parallel Datalog engines with broadcast join sides:
+
+* every relation's rows are hash-assigned to exactly one **owner** shard
+  (:mod:`repro.dist.partition`);
+* each fix-point iteration, every shard executes the stratum's rule
+  variants with its ``recent`` frontier restricted to the rows it owns —
+  so the probe side of every recursive join, and hence the per-shard
+  modeled kernel time, shrinks roughly 1/N;
+* the per-shard deltas are **shuffled** to their owner shards
+  (:mod:`repro.dist.exchange`), where duplicate derivations from
+  different shards are ⊕-combined once (``sort``/``unique⟨⊕⟩``);
+* the owners' merged deltas are **all-gathered** so every shard advances
+  an identical replica of the closure, keeping build sides local.
+
+Because each shard applies the *same* global deduplicated delta through
+the same :meth:`~repro.runtime.relation.StoredRelation.advance` kernels,
+shard state never diverges, and the final result matches a single-device
+run row-for-row — and tag-for-tag for every commutative ⊕ (all shipped
+semirings; floating-point ``addmultprob`` sums may reassociate).
+
+Flat (non-recursive) rules scan only replicated ``full`` partitions, so
+running them everywhere would derive each row N times; they are instead
+round-robined across shards by rule index.
+
+Negation is not sharded: stratified negation is only sound against
+complete relations, and the engine falls back to single-device execution
+for such programs rather than approximating (mirroring PR 1's
+incremental fallback contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exchange import ExchangeOperator
+from .partition import HashPartitioner
+from ..apm.compiler import ApmProgram, CompiledStratum
+from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
+from ..apm.schedule import cached_plan
+from ..errors import ExecutionError, LobsterError
+from ..gpu.device import VirtualDevice
+from ..provenance.base import Provenance
+from ..runtime.database import Database
+from ..runtime.relation import StoredRelation, dedup_table
+from ..runtime.table import Table
+
+
+class ShardView:
+    """One shard's view of the database: replicated relation storage with
+    shard-local frontier masks.  Duck-types the small surface of
+    :class:`~repro.runtime.database.Database` the interpreter touches."""
+
+    def __init__(self, schemas: dict, provenance: Provenance):
+        self.schemas = schemas
+        self.provenance = provenance
+        self.relations: dict[str, StoredRelation] = {}
+
+    def relation(self, name: str) -> StoredRelation:
+        rel = self.relations.get(name)
+        if rel is None:
+            rel = StoredRelation(name, self.schemas[name], self.provenance)
+            self.relations[name] = rel
+        return rel
+
+    def total_bytes(self) -> int:
+        return sum(rel.nbytes() for rel in self.relations.values())
+
+
+class ShardedExecutor:
+    """Executes APM programs across a pool of shard devices."""
+
+    def __init__(
+        self,
+        devices: list[VirtualDevice],
+        enable_static_reuse: bool = True,
+        enable_buffer_reuse: bool = True,
+        enable_stratum_scheduling: bool = True,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ):
+        if len(devices) < 1:
+            raise ValueError("ShardedExecutor needs at least one device")
+        self.devices = devices
+        self.partitioner = HashPartitioner(len(devices))
+        self.exchange = ExchangeOperator(self.partitioner, devices)
+        self.enable_stratum_scheduling = enable_stratum_scheduling
+        self.max_iterations = max_iterations
+        self.interpreters = [
+            ApmInterpreter(
+                device,
+                enable_static_reuse=enable_static_reuse,
+                enable_buffer_reuse=enable_buffer_reuse,
+                enable_stratum_scheduling=enable_stratum_scheduling,
+                max_iterations=max_iterations,
+            )
+            for device in devices
+        ]
+        self.iterations_run = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.devices)
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: ApmProgram, database: Database) -> None:
+        """Execute ``program`` to fix point against ``database``.
+
+        The database's relations are replaced by the (identical-on-all-
+        shards) sharded result, so downstream queries, probabilities, and
+        gradients read it exactly as after a single-device run.
+        """
+        if program.has_negation:
+            raise LobsterError(
+                "sharded execution does not support negation (owner-merge "
+                "over partial frontiers cannot retract); run single-device"
+            )
+        database.finalize()
+        views = self._make_views(program, database)
+        transfers = cached_plan(program, self.enable_stratum_scheduling)
+        for index, stratum in enumerate(program.strata):
+            for shard in range(self.n_shards):
+                self.interpreters[shard]._charge_transfers(
+                    transfers.get(index, ()), views[shard], to_device=True
+                )
+                self.interpreters[shard].begin_stratum()
+            self._run_stratum(stratum, program, views)
+            for shard in range(self.n_shards):
+                self.interpreters[shard]._charge_transfers(
+                    transfers.get(index, ()), views[shard], to_device=False
+                )
+        # Shard 0's replica is the authoritative result (all identical).
+        for name, rel in views[0].relations.items():
+            database.relations[name] = rel
+
+    # ------------------------------------------------------------------
+
+    def _make_views(self, program: ApmProgram, database: Database) -> list[ShardView]:
+        """Per-shard views sharing the master's (immutable) EDB tables.
+
+        Sharing the initial ``full`` tables is safe: ``advance`` never
+        mutates a table in place — it always builds fresh arrays.
+        """
+        views = []
+        for _ in range(self.n_shards):
+            view = ShardView(database.schemas, database.provenance)
+            views.append(view)
+        for name, rel in database.relations.items():
+            for view in views:
+                clone = StoredRelation(name, rel.dtypes, database.provenance)
+                clone.full = rel.full
+                # Preserve the mask state (stratum seeding overwrites it
+                # for the predicates it touches): relations no stratum
+                # derives — plain EDB inputs — must come out of a sharded
+                # run exactly as a single-device run leaves them.
+                clone.recent_mask = rel.recent_mask.copy()
+                clone.changed_mask = rel.changed_mask.copy()
+                view.relations[name] = clone
+        return views
+
+    def _run_stratum(
+        self,
+        stratum: CompiledStratum,
+        program: ApmProgram,
+        views: list[ShardView],
+    ) -> None:
+        n = self.n_shards
+        provenance = views[0].provenance
+        # Seed: full frontier, partitioned by ownership.
+        for predicate in stratum.predicates:
+            owners = self.partitioner.owners(views[0].relation(predicate).full)
+            for shard in range(n):
+                rel = views[shard].relation(predicate)
+                rel.mark_all_recent()
+                rel.recent_mask &= owners == shard
+
+        iteration = 0
+        while True:
+            iteration += 1
+            self.iterations_run += 1
+            shard_deltas: list[dict[str, list[Table]]] = []
+            for shard in range(n):
+                deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
+                for rule_index, rule in enumerate(stratum.rules):
+                    if rule.edb_only:
+                        # Flat rules scan replicated FULL partitions only;
+                        # run each on one shard (round-robin) or every
+                        # shard would derive its output N times.
+                        if iteration > 1 or rule_index % n != shard:
+                            continue
+                    for variant in rule.variants:
+                        self.interpreters[shard]._execute_variant(
+                            variant, views[shard], deltas, iteration
+                        )
+                shard_deltas.append(deltas)
+
+            frontier = 0
+            for predicate in stratum.predicates:
+                dtypes = program.schemas[predicate]
+                local = [
+                    Table.concat(deltas[predicate], dtypes, provenance)
+                    for deltas in shard_deltas
+                ]
+                # Route every derived row to its owner; ⊕-merge there.
+                owned = self.exchange.shuffle(local, dtypes, provenance)
+                merged = [dedup_table(table, provenance) for table in owned]
+                # Owners broadcast their merged partitions; every shard
+                # folds the identical global delta into its replica.
+                global_delta = self.exchange.all_gather(merged, dtypes, provenance)
+                advanced = 0
+                for shard in range(n):
+                    advanced = views[shard].relation(predicate).advance(global_delta)
+                frontier += advanced
+                if not stratum.recursive:
+                    continue  # frontier unused: the loop breaks below
+                # Re-partition the new frontier by ownership.  Only the
+                # frontier rows are hashed (identical on every replica),
+                # not the whole growing closure — total hashing work per
+                # stratum stays proportional to rows derived, not
+                # O(closure x iterations).
+                rel0 = views[0].relation(predicate)
+                frontier_rows = np.flatnonzero(rel0.recent_mask)
+                owners = self.partitioner.owners(rel0.full.take(frontier_rows))
+                for shard in range(n):
+                    rel = views[shard].relation(predicate)
+                    mask = np.zeros(rel.full.n_rows, dtype=bool)
+                    mask[frontier_rows[owners == shard]] = True
+                    rel.recent_mask = mask
+
+            if not stratum.recursive or frontier == 0:
+                break
+            if iteration >= self.max_iterations:
+                raise ExecutionError(
+                    f"stratum over {stratum.predicates} exceeded "
+                    f"{self.max_iterations} iterations without saturating"
+                )

@@ -1,0 +1,56 @@
+"""A pool of virtual devices for throughput serving.
+
+Where the :class:`~repro.dist.executor.ShardedExecutor` splits *one*
+query across N devices (latency scaling), a :class:`DevicePool` spreads
+*independent* queries across N devices round-robin (throughput scaling)
+— the serving-fleet pattern for a :class:`~repro.runtime.session.
+LobsterSession` draining many databases.
+
+The pool is thread-safe: worker threads can interleave :meth:`acquire`
+calls and still get a fair round-robin assignment.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..gpu.device import DeviceProfile, VirtualDevice
+
+
+class DevicePool:
+    """Round-robin scheduler over a fixed set of virtual devices."""
+
+    def __init__(
+        self,
+        n_devices: int = 2,
+        devices: list[VirtualDevice] | None = None,
+        **device_kwargs,
+    ):
+        """Builds ``n_devices`` fresh :class:`VirtualDevice`\\ s (passing
+        ``device_kwargs`` through) unless ``devices`` supplies the pool
+        explicitly."""
+        if devices is not None:
+            self.devices = list(devices)
+        else:
+            self.devices = [VirtualDevice(**device_kwargs) for _ in range(n_devices)]
+        if not self.devices:
+            raise ValueError("DevicePool needs at least one device")
+        self._next = 0
+        self._lock = threading.Lock()
+        #: Serializes session drains over this pool (see LobsterSession:
+        #: sessions sharing a pool must not interleave on its devices).
+        self._drain_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def acquire(self) -> tuple[int, VirtualDevice]:
+        """Next ``(index, device)`` in round-robin order (thread-safe)."""
+        with self._lock:
+            index = self._next
+            self._next = (self._next + 1) % len(self.devices)
+        return index, self.devices[index]
+
+    def merged_profile(self) -> DeviceProfile:
+        """Counter-wise rollup of every device's live profile."""
+        return DeviceProfile.merge([device.profile for device in self.devices])

@@ -32,6 +32,16 @@ DEFAULT_TRANSFER_LATENCY_S = 10e-6
 #: Simulated cost of a fresh device allocation (cudaMalloc-style latency);
 #: buffer reuse (§4.1) avoids it after the first fix-point iteration.
 ALLOC_LATENCY_S = 5e-6
+#: Device-to-device (NVLink-like) exchange model used by the sharded
+#: executor: faster than the host link, but every cross-shard byte is
+#: charged to the sending device.
+DEFAULT_EXCHANGE_BANDWIDTH_BYTES_PER_S = 25e9
+DEFAULT_EXCHANGE_LATENCY_S = 5e-6
+#: Modeled kernel cost: a fixed launch overhead plus a per-row term.
+#: This is the *simulated* compute clock the strong-scaling benchmarks
+#: read — counter accounting, never host wall time.
+KERNEL_LAUNCH_S = 2e-6
+KERNEL_ROW_COST_S = 5e-10
 
 
 @dataclass
@@ -48,6 +58,14 @@ class DeviceProfile:
     transfer_bytes: int = 0
     transfer_seconds: float = 0.0
     alloc_seconds: float = 0.0
+    #: Modeled device compute time (launch overhead + per-row cost).
+    kernel_seconds: float = 0.0
+    #: Device-to-device shuffle traffic (sharded execution): counted
+    #: separately from host<->device transfers so exchange cost can be
+    #: reported on its own in scale-out experiments.
+    exchange_transfers: int = 0
+    exchange_bytes: int = 0
+    exchange_seconds: float = 0.0
     instruction_counts: dict[str, int] = field(default_factory=dict)
 
     def record_instruction(self, name: str) -> None:
@@ -69,6 +87,43 @@ class DeviceProfile:
         )
         copy.instruction_counts = dict(self.instruction_counts)
         return copy
+
+    @property
+    def busy_seconds(self) -> float:
+        """Modeled time this device spent occupied: kernels, host
+        transfers, exchange traffic, and allocation latency.  The
+        makespan of a multi-device run is the max of its shards'
+        ``busy_seconds`` (devices run concurrently in the simulation)."""
+        return (
+            self.kernel_seconds
+            + self.transfer_seconds
+            + self.exchange_seconds
+            + self.alloc_seconds
+        )
+
+    @classmethod
+    def merge(cls, profiles: "list[DeviceProfile]") -> "DeviceProfile":
+        """Counter-wise aggregation of several device profiles.
+
+        Counters sum; ``peak_arena_bytes`` is a high-water mark, so the
+        max is taken; ``instruction_counts`` merge per instruction.  Used
+        to roll per-shard (or per-pool-device) profiles up into one
+        fleet-wide view.
+        """
+        merged = cls()
+        for profile in profiles:
+            for key, value in profile.__dict__.items():
+                if key == "instruction_counts":
+                    continue
+                if key == "peak_arena_bytes":
+                    merged.peak_arena_bytes = max(merged.peak_arena_bytes, value)
+                else:
+                    setattr(merged, key, getattr(merged, key) + value)
+            for name, count in profile.instruction_counts.items():
+                merged.instruction_counts[name] = (
+                    merged.instruction_counts.get(name, 0) + count
+                )
+        return merged
 
     def since(self, before: "DeviceProfile") -> "DeviceProfile":
         """Counters accumulated after ``before`` was snapshotted.
@@ -114,11 +169,15 @@ class VirtualDevice:
         bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S,
         transfer_latency_s: float = DEFAULT_TRANSFER_LATENCY_S,
         reuse_buffers: bool = True,
+        exchange_bandwidth_bytes_per_s: float = DEFAULT_EXCHANGE_BANDWIDTH_BYTES_PER_S,
+        exchange_latency_s: float = DEFAULT_EXCHANGE_LATENCY_S,
     ):
         self.capacity_bytes = capacity_bytes
         self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
         self.transfer_latency_s = transfer_latency_s
         self.reuse_buffers = reuse_buffers
+        self.exchange_bandwidth_bytes_per_s = exchange_bandwidth_bytes_per_s
+        self.exchange_latency_s = exchange_latency_s
         self.profile = DeviceProfile()
         self._live_bytes = 0
         # Free lists keyed by (dtype str, itemsize-rounded capacity).
@@ -210,3 +269,24 @@ class VirtualDevice:
             self.profile.device_to_host_transfers += 1
         self.profile.transfer_bytes += nbytes
         self.profile.transfer_seconds += self.transfer_cost(nbytes)
+
+    # ------------------------------------------------------------------
+    # Device-to-device exchange model (sharded execution)
+
+    def exchange_cost(self, nbytes: int) -> float:
+        return self.exchange_latency_s + nbytes / self.exchange_bandwidth_bytes_per_s
+
+    def record_exchange(self, nbytes: int) -> None:
+        """Charge this device for shipping ``nbytes`` to a peer device.
+        Every cross-shard crossing is counted once, at the sender."""
+        self.profile.exchange_transfers += 1
+        self.profile.exchange_bytes += nbytes
+        self.profile.exchange_seconds += self.exchange_cost(nbytes)
+
+    # ------------------------------------------------------------------
+    # Kernel cost model
+
+    def record_kernel(self, n_rows: int) -> None:
+        """Charge the modeled compute clock for one kernel producing
+        ``n_rows`` output rows (launch overhead + per-row cost)."""
+        self.profile.kernel_seconds += KERNEL_LAUNCH_S + n_rows * KERNEL_ROW_COST_S

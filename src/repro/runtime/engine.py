@@ -33,6 +33,7 @@ Example
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -91,6 +92,12 @@ class ExecutionResult:
     #: Whether this run was delta-seeded (incremental) rather than a full
     #: fix-point computation.
     incremental: bool = False
+    #: Number of device shards this run actually executed on (1 when the
+    #: engine is single-device or fell back, e.g. for negation).
+    shards: int = 1
+    #: Per-shard device profiles for a sharded run (``profile`` is their
+    #: counter-wise :meth:`~repro.gpu.device.DeviceProfile.merge`).
+    shard_profiles: list[DeviceProfile] | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -98,11 +105,23 @@ class ExecutionResult:
         (compilation excluded — it amortizes across runs)."""
         return self.wall_seconds + self.simulated_overhead_seconds
 
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Modeled steady-state makespan: shards run concurrently, so the
+        slowest device's :attr:`~repro.gpu.device.DeviceProfile.busy_seconds`
+        (kernels + transfers + exchange + allocation latency) bounds the
+        run.  For single-device runs this is just the device's busy time.
+        """
+        profiles = self.shard_profiles or [self.profile]
+        return max(profile.busy_seconds for profile in profiles)
+
     def __repr__(self) -> str:  # compile-vs-run split at a glance
         compile_part = (
             "cached" if self.program_from_cache else f"{self.compile_seconds:.6f}s"
         )
         mode = ", incremental" if self.incremental else ""
+        if self.shards > 1:
+            mode += f", shards={self.shards}"
         return (
             f"ExecutionResult(compile={compile_part}, "
             f"run={self.wall_seconds:.6f}s, "
@@ -123,11 +142,22 @@ class LobsterEngine:
         batched: bool = False,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         cache: ProgramCache | None | bool = None,
+        shards: int = 1,
+        shard_devices: list[VirtualDevice] | None = None,
         **provenance_kwargs,
     ):
         """``cache=None`` (default) uses the process-wide program cache;
         pass a :class:`ProgramCache` to scope reuse, or ``False`` to
-        force a fresh compilation."""
+        force a fresh compilation.
+
+        ``shards=N`` (N > 1) executes every run across a pool of N
+        virtual devices through :class:`~repro.dist.ShardedExecutor`:
+        hash-partitioned frontiers, owner-merged deltas, exchange-charged
+        cross-device traffic.  Results are identical to a single-device
+        run; programs with negation transparently fall back to the
+        single device.  ``shard_devices`` supplies the pool explicitly
+        (its length overrides ``shards``).
+        """
         self.source = source
         self.batched = batched
         self.optimizations = optimizations or OptimizationConfig()
@@ -171,9 +201,39 @@ class LobsterEngine:
         self.ram = compiled.ram
         self.apm: ApmProgram = compiled.apm
         self._batch_fact_rows = compiled.batch_fact_rows
+        if device is not None and shard_devices is not None:
+            raise LobsterError(
+                "pass either device= (single-device) or shard_devices= "
+                "(sharded pool), not both"
+            )
+        if device is not None and shards > 1:
+            raise LobsterError(
+                "a sharded engine runs on its shard pool, so device= would "
+                "be silently ignored; configure the pool via shard_devices="
+            )
         self.device = device or VirtualDevice(
             reuse_buffers=self.optimizations.buffer_reuse
         )
+        if shard_devices is not None:
+            shards = len(shard_devices)
+        if shards < 1:
+            raise LobsterError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.shard_devices: list[VirtualDevice] = list(shard_devices or [])
+        if shards == 1 and self.shard_devices:
+            # A one-device "pool" degenerates to single-device execution
+            # on the supplied device (not a silently ignored config).
+            self.device = self.shard_devices[0]
+        if shards > 1 and not self.shard_devices:
+            self.shard_devices = [
+                VirtualDevice(reuse_buffers=self.optimizations.buffer_reuse)
+                for _ in range(shards)
+            ]
+        self._sharded_executor = None
+        #: Serializes session drains over this engine's device(s) — held
+        #: by every LobsterSession.run_all targeting this engine, so two
+        #: sessions sharing one engine cannot interleave on its devices.
+        self._drain_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -217,10 +277,21 @@ class LobsterEngine:
         Requires an idempotent ⊕ (re-derivation from warm state must be
         absorbed) and a negation-free program (new facts may *retract*
         negated conclusions, which monotone delta-seeding cannot express).
+        Sharded engines always rerun from scratch: the delta-seeded warm
+        path would need per-shard ``changed`` masks the replicated
+        closure does not track.
         """
         return (
-            database.provenance.idempotent_oplus and not self.apm.has_negation
+            database.provenance.idempotent_oplus
+            and not self.apm.has_negation
+            and not self._use_sharded()
         )
+
+    def _use_sharded(self) -> bool:
+        """Whether runs go through the sharded executor (negation makes a
+        program non-partitionable: stratified negation is only sound
+        against complete relations, so the engine falls back)."""
+        return self.shards > 1 and not self.apm.has_negation
 
     def run(
         self,
@@ -242,8 +313,13 @@ class LobsterEngine:
         zeroing them (used by sessions sharing one device); the returned
         profile still covers only this run.
         """
+        if self._use_sharded() and _interpreter is None:
+            return self._run_sharded(
+                database, incremental=incremental, reset_profile=reset_profile
+            )
+        device = _interpreter.device if _interpreter is not None else self.device
         if reset_profile:
-            self.device.profile.reset()
+            device.profile.reset()
         run_incremental = False
         if database.evaluated and (database.has_pending_facts or incremental):
             eligible = self.supports_incremental(database)
@@ -261,9 +337,9 @@ class LobsterEngine:
                 database.begin_delta_tracking()
             else:
                 database.rebuild()
-        before = self.device.profile.snapshot()
+        before = device.profile.snapshot()
         interpreter = _interpreter or ApmInterpreter(
-            self.device,
+            device,
             enable_static_reuse=self.optimizations.static_indices,
             enable_buffer_reuse=self.optimizations.buffer_reuse,
             enable_stratum_scheduling=self.optimizations.stratum_scheduling,
@@ -276,7 +352,7 @@ class LobsterEngine:
         database.evaluated = True
         # The result always carries its own per-run counter copy — the
         # live device profile is reset by the next run on this engine.
-        run_profile = self.device.profile.since(before)
+        run_profile = device.profile.since(before)
         overhead = run_profile.transfer_seconds + (
             0.0 if self.optimizations.buffer_reuse else run_profile.alloc_seconds
         )
@@ -288,6 +364,67 @@ class LobsterEngine:
             compile_seconds=self.compile_seconds,
             program_from_cache=self.cache_hit,
             incremental=run_incremental,
+        )
+
+    def _run_sharded(
+        self,
+        database: Database,
+        *,
+        incremental: bool | None,
+        reset_profile: bool,
+    ) -> ExecutionResult:
+        """Execute across the shard pool via the sharded executor.
+
+        Warm databases rerun from scratch (a transparent
+        :meth:`Database.rebuild`); explicitly requesting the delta-seeded
+        path is an error, matching :meth:`supports_incremental`.
+        """
+        from ..dist.executor import ShardedExecutor
+
+        if incremental:
+            raise LobsterError(
+                "sharded engines rerun from scratch; delta-seeded "
+                "incremental evaluation requires shards=1"
+            )
+        if database.evaluated and database.has_pending_facts:
+            database.rebuild()
+        if self._sharded_executor is None:
+            self._sharded_executor = ShardedExecutor(
+                self.shard_devices,
+                enable_static_reuse=self.optimizations.static_indices,
+                enable_buffer_reuse=self.optimizations.buffer_reuse,
+                enable_stratum_scheduling=self.optimizations.stratum_scheduling,
+                max_iterations=self.max_iterations,
+            )
+        executor = self._sharded_executor
+        if reset_profile:
+            for shard_device in self.shard_devices:
+                shard_device.profile.reset()
+        befores = [d.profile.snapshot() for d in self.shard_devices]
+        iterations_before = executor.iterations_run
+        start = time.perf_counter()
+        executor.run(self.apm, database)
+        wall = time.perf_counter() - start
+        database.evaluated = True
+        shard_profiles = [
+            d.profile.since(b) for d, b in zip(self.shard_devices, befores)
+        ]
+        merged = DeviceProfile.merge(shard_profiles)
+        overhead = (
+            merged.transfer_seconds
+            + merged.exchange_seconds
+            + (0.0 if self.optimizations.buffer_reuse else merged.alloc_seconds)
+        )
+        return ExecutionResult(
+            wall,
+            overhead,
+            executor.iterations_run - iterations_before,
+            merged,
+            compile_seconds=self.compile_seconds,
+            program_from_cache=self.cache_hit,
+            incremental=False,
+            shards=self.shards,
+            shard_profiles=shard_profiles,
         )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,25 @@ from ..gpu import kernels
 from ..provenance.base import Provenance
 
 
+def dedup_table(delta: Table, provenance: Provenance) -> Table:
+    """Sort + unique⟨⊕⟩ a delta table (the APM ``sort``/``unique⟨⊕⟩``
+    sequence), standalone so callers outside a :class:`StoredRelation` —
+    notably the sharded executor's owner-side merge — can share it."""
+    if delta.arity == 0:
+        if delta.n_rows == 0:
+            return delta
+        seg = np.zeros(delta.n_rows, dtype=np.int64)
+        tags = provenance.oplus_reduce(delta.tags, seg, 1)
+        return Table([], tags, 1)
+    order = kernels.lex_rank(delta.columns)
+    sorted_cols = [c[order] for c in delta.columns]
+    sorted_tags = delta.tags[order]
+    unique_cols, segment_ids, _ = kernels.unique_rows(sorted_cols)
+    nseg = len(unique_cols[0]) if unique_cols else 0
+    tags = provenance.oplus_reduce(sorted_tags, segment_ids, nseg)
+    return Table(unique_cols, tags, nseg)
+
+
 class StoredRelation:
     """One relation's persistent storage across fix-point iterations."""
 
@@ -204,17 +223,4 @@ class StoredRelation:
 
     def _dedup(self, delta: Table) -> Table:
         """Sort + unique⟨⊕⟩ a delta table."""
-        prov = self.provenance
-        if self.arity == 0:
-            if delta.n_rows == 0:
-                return delta
-            seg = np.zeros(delta.n_rows, dtype=np.int64)
-            tags = prov.oplus_reduce(delta.tags, seg, 1)
-            return Table([], tags, 1)
-        order = kernels.lex_rank(delta.columns)
-        sorted_cols = [c[order] for c in delta.columns]
-        sorted_tags = delta.tags[order]
-        unique_cols, segment_ids, _ = kernels.unique_rows(sorted_cols)
-        nseg = len(unique_cols[0]) if unique_cols else 0
-        tags = prov.oplus_reduce(sorted_tags, segment_ids, nseg)
-        return Table(unique_cols, tags, nseg)
+        return dedup_table(delta, self.provenance)

@@ -14,6 +14,13 @@ amortizes every one-time cost the device profile models:
   sites, so after the first database the arena hands back the previous
   query's buffers instead of paying the simulated allocation latency.
 
+For throughput serving, a session can spread its queries across a
+:class:`~repro.dist.pool.DevicePool`: queries round-robin over the pool's
+devices (each with its own warm interpreter), and the report aggregates
+the per-device profiles counter-wise.  Sessions are thread-safe —
+``submit``/``result`` may be called from a pool of worker threads while
+another thread drains (``run_all`` serializes drains).
+
 Example
 -------
 >>> from repro import LobsterEngine, LobsterSession
@@ -32,11 +39,13 @@ Example
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .database import Database
 from .engine import ExecutionResult, LobsterEngine
 from ..apm.interpreter import ApmInterpreter
+from ..dist.pool import DevicePool
 from ..errors import LobsterError
 from ..gpu.device import DeviceProfile
 
@@ -65,8 +74,15 @@ class SessionReport:
     program_from_cache: bool
     #: Per-query results, in submission order, for this drain.
     results: list[ExecutionResult] = field(default_factory=list)
-    #: Device counters accumulated across the whole drain.
+    #: Device counters accumulated across the whole drain — the
+    #: counter-wise :meth:`DeviceProfile.merge` of ``device_profiles``.
     profile: DeviceProfile | None = None
+    #: Number of devices the drain used (1 = the engine's own device;
+    #: >1 = a :class:`~repro.dist.pool.DevicePool` round-robin, or the
+    #: shard devices of a ``shards=N`` engine).
+    pool_size: int = 1
+    #: Per-device profile deltas for this drain, pool order.
+    device_profiles: list[DeviceProfile] = field(default_factory=list)
 
     @property
     def steady_state_seconds(self) -> float:
@@ -85,34 +101,80 @@ class SessionReport:
             + self.modeled_overhead_seconds
         )
 
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Modeled makespan of the drain: pool devices serve queries
+        concurrently, so the busiest device bounds the batch."""
+        if not self.device_profiles:
+            return 0.0
+        return max(profile.busy_seconds for profile in self.device_profiles)
+
 
 class LobsterSession:
-    """Serve many independent databases through one compiled program."""
+    """Serve many independent databases through one compiled program.
 
-    def __init__(self, engine: LobsterEngine):
+    Thread-safety: the queue (``submit``/``database``/``result``) is
+    guarded by one lock so worker threads can enqueue concurrently;
+    drains serialize on a lock owned by the *shared resource* — the
+    pool when one is supplied, the engine otherwise — so even two
+    sessions sharing one engine or one pool cannot interleave drains on
+    the same devices.  Queue mutations never happen while holding the
+    drain lock, so submitting during a drain is safe (the new query
+    lands in the next drain).
+    """
+
+    def __init__(self, engine: LobsterEngine, pool: DevicePool | None = None):
+        if pool is not None and engine._use_sharded():
+            raise LobsterError(
+                "pick one scaling axis per session: a sharded engine splits "
+                "each query across its shard devices, a DevicePool spreads "
+                "queries across devices — not both"
+            )
         self.engine = engine
+        self.pool = pool
         self._queries: list[SubmittedQuery] = []
         self._next_ticket = 0
-        # One interpreter for the whole session: allocation sites stay
-        # warm across queries (buffer reuse across the batch); data-
-        # dependent state (static hash indices) still resets per stratum.
-        self._interpreter = ApmInterpreter(
-            engine.device,
-            enable_static_reuse=engine.optimizations.static_indices,
-            enable_buffer_reuse=engine.optimizations.buffer_reuse,
-            enable_stratum_scheduling=engine.optimizations.stratum_scheduling,
-            max_iterations=engine.max_iterations,
-            retain_allocation_sites=engine.optimizations.buffer_reuse,
+        self._lock = threading.Lock()  # queue + ticket counter
+        # Drains serialize on the shared resource's lock, not a
+        # per-session one, so sessions sharing an engine/pool are safe.
+        self._run_lock = pool._drain_lock if pool else engine._drain_lock
+
+        def make_interpreter(device) -> ApmInterpreter:
+            # One interpreter per device for the whole session:
+            # allocation sites stay warm across queries (buffer reuse
+            # across the batch); data-dependent state (static hash
+            # indices) still resets per stratum.
+            return ApmInterpreter(
+                device,
+                enable_static_reuse=engine.optimizations.static_indices,
+                enable_buffer_reuse=engine.optimizations.buffer_reuse,
+                enable_stratum_scheduling=engine.optimizations.stratum_scheduling,
+                max_iterations=engine.max_iterations,
+                retain_allocation_sites=engine.optimizations.buffer_reuse,
+            )
+
+        # Only the interpreters a drain can actually use are built: pool
+        # sessions never touch the engine device, and sharded engines
+        # bring their own per-shard interpreters.
+        self._interpreter = (
+            make_interpreter(engine.device)
+            if pool is None and not engine._use_sharded()
+            else None
+        )
+        self._pool_interpreters = (
+            [make_interpreter(device) for device in pool.devices] if pool else []
         )
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._queries)
+        with self._lock:
+            return len(self._queries)
 
     @property
     def pending(self) -> list[SubmittedQuery]:
-        return [query for query in self._queries if query.result is None]
+        with self._lock:
+            return [query for query in self._queries if query.result is None]
 
     def create_database(self) -> Database:
         """A fresh database for this session's program (convenience
@@ -120,12 +182,14 @@ class LobsterSession:
         return self.engine.create_database()
 
     def submit(self, database: Database | None = None) -> int:
-        """Enqueue ``database`` (or a fresh one) and return its ticket."""
+        """Enqueue ``database`` (or a fresh one) and return its ticket.
+        Safe to call from multiple threads concurrently."""
         if database is None:
             database = self.engine.create_database()
-        ticket = self._next_ticket
-        self._next_ticket += 1
-        self._queries.append(SubmittedQuery(ticket, database))
+        with self._lock:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queries.append(SubmittedQuery(ticket, database))
         return ticket
 
     def database(self, ticket: int) -> Database:
@@ -139,9 +203,10 @@ class LobsterSession:
         return result
 
     def _query(self, ticket: int) -> SubmittedQuery:
-        for query in self._queries:
-            if query.ticket == ticket:
-                return query
+        with self._lock:
+            for query in self._queries:
+                if query.ticket == ticket:
+                    return query
         raise LobsterError(f"unknown session ticket {ticket}")
 
     # ------------------------------------------------------------------
@@ -149,27 +214,52 @@ class LobsterSession:
     def run_all(self) -> SessionReport:
         """Drain the queue: run every pending database to fix point.
 
-        Databases run back-to-back on the shared device without resetting
-        it, so the batch amortizes allocations; the per-query results
-        still carry per-run profiles (computed from counter snapshots).
-        Already-evaluated databases with pending facts take the
-        incremental path exactly as :meth:`LobsterEngine.run` would.
+        Databases run back-to-back on the shared device (or round-robin
+        across the pool's devices) without resetting it, so the batch
+        amortizes allocations; the per-query results still carry per-run
+        profiles (computed from counter snapshots).  Already-evaluated
+        databases with pending facts take the incremental path exactly as
+        :meth:`LobsterEngine.run` would.
         """
-        device = self.engine.device
-        device.profile.reset()
-        before = device.profile.snapshot()
-        report = SessionReport(
-            compile_seconds=self.engine.compile_seconds,
-            program_from_cache=self.engine.cache_hit,
-        )
-        for query in self._queries:
-            if query.result is not None:
-                continue
-            query.result = self.engine.run(
-                query.database,
-                reset_profile=False,
-                _interpreter=self._interpreter,
+        with self._run_lock:
+            # A sharded engine is its own scaling axis: every query runs
+            # through the shard pool (no warm session interpreter there —
+            # the sharded executor keeps its own per-shard interpreters).
+            sharded = self.engine._use_sharded()
+            if self.pool is not None:
+                devices = [itp.device for itp in self._pool_interpreters]
+            elif sharded:
+                devices = self.engine.shard_devices
+            else:
+                devices = [self.engine.device]
+            for device in devices:
+                device.profile.reset()
+            befores = [device.profile.snapshot() for device in devices]
+            report = SessionReport(
+                compile_seconds=self.engine.compile_seconds,
+                program_from_cache=self.engine.cache_hit,
+                pool_size=len(devices),
             )
-            report.results.append(query.result)
-        report.profile = device.profile.since(before)
-        return report
+            for query in self.pending:
+                if sharded:
+                    query.result = self.engine.run(
+                        query.database, reset_profile=False
+                    )
+                else:
+                    if self.pool is not None:
+                        index, _ = self.pool.acquire()
+                        interpreter = self._pool_interpreters[index]
+                    else:
+                        interpreter = self._interpreter
+                    query.result = self.engine.run(
+                        query.database,
+                        reset_profile=False,
+                        _interpreter=interpreter,
+                    )
+                report.results.append(query.result)
+            report.device_profiles = [
+                device.profile.since(before)
+                for device, before in zip(devices, befores)
+            ]
+            report.profile = DeviceProfile.merge(report.device_profiles)
+            return report

@@ -1,0 +1,19 @@
+"""Shared test helpers.
+
+A plain module (not ``conftest``) so test files can import it by name:
+``from conftest import ...`` breaks under whole-repo collection, where
+``benchmarks/conftest.py`` wins the ``conftest`` module slot.
+"""
+
+from __future__ import annotations
+
+TC_PROGRAM = """
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+query path
+"""
+
+
+def random_digraph(rng, n_nodes: int, n_edges: int):
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = rng.integers(0, n_nodes, size=n_edges)
+    return sorted({(int(a), int(b)) for a, b in zip(src, dst) if a != b})

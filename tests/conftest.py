@@ -7,10 +7,7 @@ import pytest
 
 from repro import LobsterEngine
 
-TC_PROGRAM = """
-rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
-query path
-"""
+from _helpers import TC_PROGRAM, random_digraph  # noqa: F401 (re-exported)
 
 
 @pytest.fixture
@@ -40,9 +37,3 @@ def brute_force_closure(edges) -> set[tuple[int, int]]:
         if not extra:
             return closure
         closure |= extra
-
-
-def random_digraph(rng, n_nodes: int, n_edges: int):
-    src = rng.integers(0, n_nodes, size=n_edges)
-    dst = rng.integers(0, n_nodes, size=n_edges)
-    return sorted({(int(a), int(b)) for a, b in zip(src, dst) if a != b})

@@ -1,0 +1,213 @@
+"""Concurrency hardening: the program cache and sessions under threads.
+
+The serving layer's contract is that a pool of worker threads can share
+one :class:`ProgramCache` (compile-once) and one :class:`LobsterSession`
+(submit/lookup) without corruption: every lookup is a hit or a miss,
+LRU never overshoots capacity, tickets are unique, and every submitted
+query gets exactly one result.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro import (
+    DevicePool,
+    LobsterEngine,
+    LobsterSession,
+    OptimizationConfig,
+    ProgramCache,
+)
+from _helpers import TC_PROGRAM, random_digraph
+
+N_THREADS = 8
+
+
+def _program(index: int) -> str:
+    """A family of distinct (non-colliding) programs."""
+    return f"rel out{index}(x, y) :- edge(x, y).\nquery out{index}\n"
+
+
+class TestProgramCacheUnderThreads:
+    def test_hammer_lru_hits_and_evictions(self):
+        """Many threads, few slots: lookups race with evictions and the
+        cache must stay consistent (no exceptions, stats add up, size
+        bounded by capacity)."""
+        capacity = 4
+        cache = ProgramCache(capacity=capacity)
+        config = OptimizationConfig()
+        n_programs = 12
+        rounds = 30
+        errors: list[Exception] = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    index = int(rng.integers(0, n_programs))
+                    compiled, _ = cache.get_or_compile(
+                        _program(index), "unit", config, False
+                    )
+                    # The artifact must always match the requested program.
+                    assert f"out{index}" in compiled.resolved.schemas
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(cache) <= capacity
+        stats = cache.stats
+        assert stats.lookups == N_THREADS * rounds
+        assert stats.hits + stats.misses == stats.lookups
+        # With 12 programs over 4 slots both hits and evictions must occur.
+        assert stats.hits > 0
+        assert stats.evictions > 0
+
+    def test_concurrent_same_key_yields_one_retained_artifact(self):
+        cache = ProgramCache(capacity=8)
+        config = OptimizationConfig()
+        results = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker() -> None:
+            barrier.wait()
+            compiled, _ = cache.get_or_compile(_program(0), "unit", config, False)
+            results.append(compiled)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            for _ in range(N_THREADS):
+                pool.submit(worker)
+        assert len(results) == N_THREADS
+        # Whatever raced, every later lookup serves one retained artifact.
+        retained, hit = cache.get_or_compile(_program(0), "unit", config, False)
+        assert hit
+        assert len(cache) == 1
+        assert retained in results
+
+
+class TestSessionUnderThreads:
+    def _datasets(self, count: int):
+        rng = np.random.default_rng(23)
+        return [random_digraph(rng, 18, 45) for _ in range(count)]
+
+    def test_threaded_submit_then_drain(self):
+        """Worker threads race submit(); tickets stay unique and every
+        query runs exactly once with the right answer."""
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        session = LobsterSession(engine)
+        datasets = self._datasets(24)
+        tickets: dict[int, int] = {}
+        lock = threading.Lock()
+
+        def submit(index: int) -> None:
+            db = session.create_database()
+            db.add_facts("edge", datasets[index])
+            ticket = session.submit(db)
+            with lock:
+                tickets[index] = ticket
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(submit, range(len(datasets))))
+
+        assert len(set(tickets.values())) == len(datasets)  # unique tickets
+        report = session.run_all()
+        assert len(report.results) == len(datasets)
+
+        reference = LobsterEngine(TC_PROGRAM, provenance="unit")
+        for index, ticket in tickets.items():
+            db = reference.create_database()
+            db.add_facts("edge", datasets[index])
+            reference.run(db)
+            assert (
+                session.database(ticket).result("path").rows()
+                == db.result("path").rows()
+            )
+
+    def test_threaded_submit_with_pool_drain(self):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        session = LobsterSession(engine, pool=DevicePool(3))
+        datasets = self._datasets(9)
+
+        def submit(index: int) -> int:
+            db = session.create_database()
+            db.add_facts("edge", datasets[index])
+            return session.submit(db)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            tickets = list(pool.map(submit, range(len(datasets))))
+        report = session.run_all()
+        assert len(report.results) == len(datasets)
+        assert report.pool_size == 3
+        for ticket in tickets:
+            assert session.result(ticket) is not None
+
+    def test_concurrent_drains_serialize(self):
+        """Two threads calling run_all() concurrently must not run the
+        same query twice (the drain lock serializes them)."""
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        session = LobsterSession(engine)
+        for edges in self._datasets(8):
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            session.submit(db)
+
+        reports = []
+        lock = threading.Lock()
+
+        def drain() -> None:
+            report = session.run_all()
+            with lock:
+                reports.append(report)
+
+        threads = [threading.Thread(target=drain) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = sum(len(report.results) for report in reports)
+        assert total == 8  # each query drained exactly once
+        assert not session.pending
+
+    def test_sessions_sharing_one_engine_serialize_drains(self):
+        """Two sessions over the same engine share its device; their
+        drains must serialize on the engine's lock, keeping every
+        per-query profile delta consistent (never negative)."""
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        sessions = [LobsterSession(engine) for _ in range(2)]
+        for session in sessions:
+            for edges in self._datasets(6):
+                db = session.create_database()
+                db.add_facts("edge", edges)
+                session.submit(db)
+
+        reports = {}
+
+        def drain(index: int) -> None:
+            reports[index] = sessions[index].run_all()
+
+        threads = [
+            threading.Thread(target=drain, args=(index,)) for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for report in reports.values():
+            assert len(report.results) == 6
+            for result in report.results:
+                assert result.profile.kernel_launches > 0
+                assert result.wall_seconds >= 0

@@ -1,0 +1,555 @@
+"""Sharded multi-device execution (repro.dist).
+
+The hard contract: ``LobsterEngine(shards=N)`` must return rows and tags
+*identical* to the single-device engine — for every partitionable
+program and every commutative-⊕ semiring — with gradients included for
+the differentiable semirings.  Plus unit coverage for the partitioner,
+exchange accounting, the device pool, and the fallback rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DevicePool,
+    DeviceProfile,
+    HashPartitioner,
+    LobsterEngine,
+    LobsterSession,
+    LobsterError,
+    VirtualDevice,
+)
+from repro.dist.exchange import ExchangeOperator
+from repro.provenance import registry
+from repro.runtime.table import Table
+from repro.workloads.analytics import CSPA
+from _helpers import TC_PROGRAM, random_digraph
+
+SHARD_COUNTS = [1, 2, 4]
+
+#: Per-provenance constructor arguments: the general top-k reduce is
+#: quadratic in per-row duplicate derivations, so the proof semirings
+#: run with k=2 to keep the property tests fast.
+PROV_KWARGS = {
+    "top-k-proofs-device": {"k": 2},
+    "diff-top-k-proofs-device": {"k": 2},
+}
+
+
+def _cspa_facts(n_vars=24, n_assign=36, seed=40):
+    """Small forward-biased CSPA fact base (like
+    :func:`repro.workloads.analytics.cspa_instance`, scaled down so the
+    structured-tag semirings finish quickly; the closure still exercises
+    the multi-predicate recursive stratum)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(1, n_vars, size=n_assign)
+    dst = (src * rng.uniform(0.0, 1.0, size=n_assign)).astype(np.int64)
+    assign = sorted({(int(a), int(b)) for a, b in zip(src, dst) if a != b})
+    n_deref = max(3, n_assign // 5)
+    deref = sorted(
+        {
+            (int(a), int(b))
+            for a, b in zip(
+                rng.integers(0, n_vars, size=n_deref),
+                rng.integers(0, n_vars, size=n_deref),
+            )
+        }
+    )
+    return assign, deref
+
+
+CSPA_ASSIGN, CSPA_DEREF = _cspa_facts()
+
+
+def tags_identical(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise tag equality (works for plain and structured dtypes)."""
+    return a.dtype == b.dtype and a.tobytes() == b.tobytes()
+
+
+def run_engine(source, provenance, shards, loader):
+    engine = LobsterEngine(
+        source,
+        provenance=provenance,
+        shards=shards,
+        **PROV_KWARGS.get(provenance, {}),
+    )
+    database = engine.create_database()
+    loader(database)
+    result = engine.run(database)
+    return engine, database, result
+
+
+class TestShardedEquivalence:
+    """Property: sharded == single-device, rows and tags."""
+
+    @pytest.fixture(scope="class")
+    def tc_facts(self):
+        rng = np.random.default_rng(77)
+        edges = random_digraph(rng, 40, 150)
+        probs = rng.uniform(0.05, 0.99, size=len(edges))
+        return edges, list(probs)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "provenance",
+        ["unit", "minmaxprob", "top-k-proofs-device"],
+    )
+    def test_tc_rows_and_tags_identical(self, tc_facts, provenance, shards):
+        edges, probs = tc_facts
+        use_probs = provenance != "unit"
+
+        def load(db):
+            db.add_facts("edge", edges, probs=probs if use_probs else None)
+
+        _, base_db, base = run_engine(TC_PROGRAM, provenance, 1, load)
+        _, shard_db, result = run_engine(TC_PROGRAM, provenance, shards, load)
+        expected, actual = base_db.result("path"), shard_db.result("path")
+        assert actual.rows() == expected.rows()
+        assert tags_identical(actual.tags, expected.tags)
+        assert result.shards == shards
+        assert result.iterations == base.iterations
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "provenance",
+        ["unit", "minmaxprob", "top-k-proofs-device"],
+    )
+    def test_cspa_rows_and_tags_identical(self, provenance, shards):
+        rng = np.random.default_rng(5)
+        probs = list(rng.uniform(0.1, 0.99, size=len(CSPA_ASSIGN)))
+        use_probs = provenance != "unit"
+
+        def load(db):
+            db.add_facts("assign", CSPA_ASSIGN, probs=probs if use_probs else None)
+            db.add_facts("dereference", CSPA_DEREF)
+
+        _, base_db, _ = run_engine(CSPA, provenance, 1, load)
+        _, shard_db, result = run_engine(CSPA, provenance, shards, load)
+        for predicate in ("value_flow", "memory_alias", "value_alias"):
+            expected, actual = base_db.result(predicate), shard_db.result(predicate)
+            assert actual.rows() == expected.rows()
+            assert tags_identical(actual.tags, expected.tags)
+        assert result.shards == shards
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize(
+        "provenance",
+        ["diff-minmaxprob", "diff-top-k-proofs-device"],
+    )
+    def test_gradients_identical(self, tc_facts, provenance, shards):
+        edges, probs = tc_facts
+
+        def load(db):
+            db.add_facts("edge", edges, probs=probs)
+
+        single, base_db, _ = run_engine(TC_PROGRAM, provenance, 1, load)
+        sharded, shard_db, _ = run_engine(TC_PROGRAM, provenance, shards, load)
+        rows = base_db.result("path").rows()
+        grad_out = {row: 1.0 for row in rows[::3]}
+        expected = single.backward(base_db, "path", grad_out)
+        actual = sharded.backward(shard_db, "path", grad_out)
+        assert np.array_equal(expected, actual)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize(
+        "provenance",
+        ["diff-minmaxprob", "diff-top-k-proofs-device"],
+    )
+    def test_cspa_gradients_identical(self, provenance, shards):
+        rng = np.random.default_rng(6)
+        probs = list(rng.uniform(0.1, 0.99, size=len(CSPA_ASSIGN)))
+
+        def load(db):
+            db.add_facts("assign", CSPA_ASSIGN, probs=probs)
+            db.add_facts("dereference", CSPA_DEREF)
+
+        single, base_db, _ = run_engine(CSPA, provenance, 1, load)
+        sharded, shard_db, _ = run_engine(CSPA, provenance, shards, load)
+        for predicate in ("value_flow", "value_alias"):
+            rows = base_db.result(predicate).rows()
+            grad_out = {row: 1.0 for row in rows[::2]}
+            expected = single.backward(base_db, predicate, grad_out)
+            actual = sharded.backward(shard_db, predicate, grad_out)
+            assert np.array_equal(expected, actual)
+
+    @pytest.mark.parametrize("shards", [3])
+    def test_probabilities_identical(self, tc_facts, shards):
+        edges, probs = tc_facts
+
+        def load(db):
+            db.add_facts("edge", edges, probs=probs)
+
+        single, base_db, _ = run_engine(TC_PROGRAM, "minmaxprob", 1, load)
+        sharded, shard_db, _ = run_engine(TC_PROGRAM, "minmaxprob", shards, load)
+        assert single.query_probs(base_db, "path") == sharded.query_probs(
+            shard_db, "path"
+        )
+
+    @pytest.mark.parametrize("shards", [3])
+    def test_multi_stratum_program(self, shards):
+        """Strata chains (flat → recursive → flat) exercise the transfer
+        plan and the flat-rule round-robin across shard boundaries."""
+        source = """
+        rel base(x, y) :- edge(x, y).
+        rel path(x, y) :- base(x, y) or (path(x, z) and base(z, y)).
+        rel reach(x) :- path(s, x), start(s).
+        query reach
+        """
+        rng = np.random.default_rng(4)
+        edges = random_digraph(rng, 30, 90)
+        probs = list(rng.uniform(0.1, 0.9, size=len(edges)))
+
+        def load(db):
+            db.add_facts("edge", edges, probs=probs)
+            db.add_facts("start", [(0,)], probs=[0.8])
+
+        _, base_db, _ = run_engine(source, "minmaxprob", 1, load)
+        _, shard_db, _ = run_engine(source, "minmaxprob", shards, load)
+        for predicate in ("base", "path", "reach"):
+            expected, actual = base_db.result(predicate), shard_db.result(predicate)
+            assert actual.rows() == expected.rows()
+            assert tags_identical(actual.tags, expected.tags)
+
+    def test_arity_zero_predicates(self):
+        source = """
+        rel reach(x) :- start(x) or (reach(y) and edge(y, x)).
+        rel connected() :- reach(t), target(t).
+        query connected
+        """
+        rng = np.random.default_rng(9)
+        edges = random_digraph(rng, 20, 60)
+
+        def load(db):
+            db.add_facts("start", [(0,)])
+            db.add_facts("target", [(7,), (13,)])
+            db.add_facts("edge", edges)
+
+        _, base_db, _ = run_engine(source, "unit", 1, load)
+        _, shard_db, _ = run_engine(source, "unit", 4, load)
+        assert shard_db.result("connected").rows() == base_db.result("connected").rows()
+        assert shard_db.result("reach").rows() == base_db.result("reach").rows()
+
+
+class TestFallbacksAndWarmRuns:
+    def test_negation_falls_back_to_single_device(self):
+        source = """
+        rel reach(x) :- start(x) or (reach(y) and e(y, x)).
+        rel unreached(x) :- node(x), not reach(x).
+        query unreached
+        """
+        rng = np.random.default_rng(2)
+        edges = random_digraph(rng, 12, 30)
+
+        def load(db):
+            db.add_facts("start", [(0,)])
+            db.add_facts("e", edges)
+            db.add_facts("node", [(n,) for n in range(12)])
+
+        single, base_db, _ = run_engine(source, "unit", 1, load)
+        sharded, shard_db, result = run_engine(source, "unit", 4, load)
+        assert result.shards == 1  # fell back: negation is not partitionable
+        assert shard_db.result("unreached").rows() == base_db.result("unreached").rows()
+
+    def test_warm_rerun_matches_cold(self):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=2)
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1), (1, 2)])
+        engine.run(db)
+        db.add_facts("edge", [(2, 3)])
+        result = engine.run(db)  # transparent rebuild, never incremental
+        assert not result.incremental
+
+        cold = LobsterEngine(TC_PROGRAM, provenance="unit", shards=2)
+        cold_db = cold.create_database()
+        cold_db.add_facts("edge", [(0, 1), (1, 2), (2, 3)])
+        cold.run(cold_db)
+        assert db.result("path").rows() == cold_db.result("path").rows()
+
+    def test_explicit_incremental_rejected(self):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=2)
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1)])
+        engine.run(db)
+        db.add_facts("edge", [(1, 2)])
+        assert not engine.supports_incremental(db)
+        with pytest.raises(LobsterError):
+            engine.run(db, incremental=True)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(LobsterError):
+            LobsterEngine(TC_PROGRAM, shards=0)
+
+    def test_device_with_shards_is_rejected_not_ignored(self):
+        with pytest.raises(LobsterError):
+            LobsterEngine(TC_PROGRAM, device=VirtualDevice(), shards=2)
+        with pytest.raises(LobsterError):
+            LobsterEngine(
+                TC_PROGRAM,
+                device=VirtualDevice(),
+                shard_devices=[VirtualDevice()],
+            )
+
+    def test_single_supplied_shard_device_is_used(self):
+        device = VirtualDevice()
+        engine = LobsterEngine(TC_PROGRAM, shard_devices=[device])
+        assert engine.device is device and engine.shards == 1
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1)])
+        engine.run(db)
+        assert device.profile.kernel_launches > 0
+
+    def test_edb_mask_state_matches_single_device(self):
+        """Relations no stratum derives (plain EDB inputs) come out of a
+        sharded run with the same partition masks single-device leaves."""
+        states = {}
+        for shards in (1, 2):
+            engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=shards)
+            db = engine.create_database()
+            db.add_facts("edge", [(0, 1), (1, 2), (2, 3)])
+            engine.run(db)
+            rel = db.relation("edge")
+            states[shards] = (
+                rel.n_recent(),
+                rel.snapshot("recent").rows(),
+                rel.n_changed(),
+            )
+        assert states[1] == states[2]
+
+    def test_retained_bytes_reset_across_runs(self):
+        """Without buffer reuse, retained-temporary accounting must reset
+        per stratum (as single-device does) — not accumulate across the
+        runs served by the engine's cached executor."""
+        from repro import OptimizationConfig
+
+        engine = LobsterEngine(
+            TC_PROGRAM,
+            provenance="unit",
+            shards=2,
+            optimizations=OptimizationConfig(buffer_reuse=False),
+        )
+        edges = [(0, 1), (1, 2), (2, 3)]
+        retained = []
+        for _ in range(3):
+            db = engine.create_database()
+            db.add_facts("edge", edges)
+            engine.run(db)
+            retained.append(
+                engine._sharded_executor.interpreters[0]._retained_bytes
+            )
+        assert retained[0] == retained[1] == retained[2]
+
+
+class TestPartitioner:
+    def test_owners_are_deterministic_and_complete(self):
+        rng = np.random.default_rng(1)
+        table = Table(
+            [rng.integers(0, 1000, size=500), rng.integers(0, 1000, size=500)],
+            np.ones(500, dtype=bool),
+            500,
+        )
+        partitioner = HashPartitioner(4)
+        owners = partitioner.owners(table)
+        assert np.array_equal(owners, partitioner.owners(table))
+        assert owners.min() >= 0 and owners.max() < 4
+        parts = partitioner.split(table)
+        assert sum(p.n_rows for p in parts) == table.n_rows
+
+    def test_equal_rows_share_an_owner_across_tables(self):
+        a = Table([np.array([5, 9]), np.array([2, 4])], np.ones(2, dtype=bool), 2)
+        b = Table([np.array([9, 5]), np.array([4, 2])], np.ones(2, dtype=bool), 2)
+        partitioner = HashPartitioner(8)
+        assert partitioner.owners(a)[0] == partitioner.owners(b)[1]
+        assert partitioner.owners(a)[1] == partitioner.owners(b)[0]
+
+    def test_negative_zero_hashes_like_zero(self):
+        plus = Table([np.array([0.0])], np.ones(1, dtype=bool), 1)
+        minus = Table([np.array([-0.0])], np.ones(1, dtype=bool), 1)
+        partitioner = HashPartitioner(16)
+        assert partitioner.owners(plus)[0] == partitioner.owners(minus)[0]
+
+    def test_arity_zero_rows_pinned_to_shard_zero(self):
+        table = Table([], np.ones(1, dtype=bool), 1)
+        assert HashPartitioner(8).owners(table).tolist() == [0]
+
+    def test_balance_on_large_tables(self):
+        rng = np.random.default_rng(3)
+        n = 20_000
+        table = Table(
+            [rng.integers(0, 10_000, size=n), rng.integers(0, 10_000, size=n)],
+            np.ones(n, dtype=bool),
+            n,
+        )
+        counts = np.bincount(HashPartitioner(4).owners(table), minlength=4)
+        assert counts.min() > 0.8 * n / 4
+        assert counts.max() < 1.2 * n / 4
+
+
+class TestExchange:
+    def _tables(self, provenance_name="unit"):
+        provenance = registry.create(provenance_name)
+        provenance.setup(np.zeros(0))
+        rng = np.random.default_rng(8)
+        tables = []
+        for _ in range(3):
+            n = 50
+            tables.append(
+                Table(
+                    [rng.integers(0, 100, size=n), rng.integers(0, 100, size=n)],
+                    provenance.one_tags(n),
+                    n,
+                )
+            )
+        return provenance, tables
+
+    def test_shuffle_routes_every_row_to_its_owner(self):
+        provenance, tables = self._tables()
+        devices = [VirtualDevice() for _ in range(3)]
+        exchange = ExchangeOperator(HashPartitioner(3), devices)
+        dtypes = (np.dtype(np.int64), np.dtype(np.int64))
+        owned = exchange.shuffle(tables, dtypes, provenance)
+        assert sum(t.n_rows for t in owned) == sum(t.n_rows for t in tables)
+        partitioner = HashPartitioner(3)
+        for shard, table in enumerate(owned):
+            if table.n_rows:
+                assert (partitioner.owners(table) == shard).all()
+
+    def test_cross_shard_rows_charge_the_sender(self):
+        provenance, tables = self._tables()
+        devices = [VirtualDevice() for _ in range(3)]
+        exchange = ExchangeOperator(HashPartitioner(3), devices)
+        dtypes = (np.dtype(np.int64), np.dtype(np.int64))
+        exchange.shuffle(tables, dtypes, provenance)
+        total = sum(d.profile.exchange_bytes for d in devices)
+        assert total > 0
+        assert all(d.profile.exchange_seconds > 0 for d in devices)
+
+    def test_single_shard_exchange_is_free(self):
+        provenance, tables = self._tables()
+        device = VirtualDevice()
+        exchange = ExchangeOperator(HashPartitioner(1), [device])
+        dtypes = (np.dtype(np.int64), np.dtype(np.int64))
+        merged = exchange.all_gather(
+            exchange.shuffle(tables[:1], dtypes, provenance), dtypes, provenance
+        )
+        assert merged.n_rows == tables[0].n_rows
+        assert device.profile.exchange_bytes == 0
+
+    def test_sharded_run_reports_exchange_separately(self):
+        rng = np.random.default_rng(21)
+        edges = random_digraph(rng, 40, 150)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=4)
+        db = engine.create_database()
+        db.add_facts("edge", edges)
+        result = engine.run(db)
+        assert result.profile.exchange_bytes > 0
+        assert result.profile.exchange_seconds > 0
+        # Exchange is accounted apart from host<->device transfer time.
+        assert result.profile.exchange_seconds != result.profile.transfer_seconds
+        assert len(result.shard_profiles) == 4
+
+
+class TestDevicePool:
+    def test_round_robin(self):
+        pool = DevicePool(3)
+        order = [pool.acquire()[0] for _ in range(7)]
+        assert order == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_pooled_session_matches_plain_session(self):
+        rng = np.random.default_rng(17)
+        datasets = [random_digraph(rng, 20, 50) for _ in range(5)]
+
+        def fill(session):
+            tickets = []
+            for edges in datasets:
+                db = session.create_database()
+                db.add_facts("edge", edges)
+                tickets.append(session.submit(db))
+            return tickets
+
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        plain = LobsterSession(engine)
+        plain_tickets = fill(plain)
+        plain.run_all()
+
+        pooled = LobsterSession(engine, pool=DevicePool(3))
+        pooled_tickets = fill(pooled)
+        report = pooled.run_all()
+
+        assert report.pool_size == 3
+        for pt, qt in zip(plain_tickets, pooled_tickets):
+            assert (
+                pooled.database(qt).result("path").rows()
+                == plain.database(pt).result("path").rows()
+            )
+
+    def test_session_over_sharded_engine_shards_each_query(self):
+        rng = np.random.default_rng(29)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=3)
+        session = LobsterSession(engine)
+        for _ in range(3):
+            db = session.create_database()
+            db.add_facts("edge", random_digraph(rng, 15, 40))
+            session.submit(db)
+        report = session.run_all()
+        assert report.pool_size == 3  # the shard devices
+        assert all(result.shards == 3 for result in report.results)
+        assert report.profile.exchange_bytes > 0
+
+    def test_pool_plus_sharded_engine_is_rejected(self):
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit", shards=2)
+        with pytest.raises(LobsterError):
+            LobsterSession(engine, pool=DevicePool(2))
+
+    def test_pooled_report_merges_device_profiles(self):
+        rng = np.random.default_rng(19)
+        engine = LobsterEngine(TC_PROGRAM, provenance="unit")
+        pool = DevicePool(2)
+        session = LobsterSession(engine, pool=pool)
+        for _ in range(4):
+            db = session.create_database()
+            db.add_facts("edge", random_digraph(rng, 15, 40))
+            session.submit(db)
+        report = session.run_all()
+        assert len(report.device_profiles) == 2
+        merged = DeviceProfile.merge(report.device_profiles)
+        assert report.profile.kernel_launches == merged.kernel_launches
+        # The pool's live rollup agrees (profiles were reset at drain start).
+        assert pool.merged_profile().kernel_launches == merged.kernel_launches
+        # Both devices served some queries (round-robin over 4 queries).
+        assert all(p.kernel_launches > 0 for p in report.device_profiles)
+        assert report.simulated_parallel_seconds <= report.profile.busy_seconds
+
+
+class TestDeviceProfileMerge:
+    def test_counters_sum_and_peak_maxes(self):
+        a = DeviceProfile(kernel_launches=3, bytes_allocated=100, peak_arena_bytes=50)
+        a.instruction_counts = {"Probe": 2, "Build": 1}
+        b = DeviceProfile(kernel_launches=5, bytes_allocated=10, peak_arena_bytes=80)
+        b.instruction_counts = {"Probe": 4}
+        merged = DeviceProfile.merge([a, b])
+        assert merged.kernel_launches == 8
+        assert merged.bytes_allocated == 110
+        assert merged.peak_arena_bytes == 80
+        assert merged.instruction_counts == {"Probe": 6, "Build": 1}
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = DeviceProfile.merge([])
+        assert merged.kernel_launches == 0
+        assert merged.busy_seconds == 0.0
+
+    def test_merge_matches_since_decomposition(self):
+        device = VirtualDevice()
+        before = device.profile.snapshot()
+        device.record_transfer(1000, to_device=True)
+        mid = device.profile.snapshot()
+        device.record_exchange(500)
+        first = mid.since(before)
+        second = device.profile.since(mid)
+        merged = DeviceProfile.merge([first, second])
+        assert merged.transfer_bytes == device.profile.transfer_bytes
+        assert merged.exchange_bytes == device.profile.exchange_bytes
+        assert merged.transfer_seconds == pytest.approx(
+            device.profile.transfer_seconds
+        )
