@@ -95,7 +95,7 @@ def main() -> int:
     parser.add_argument(
         "--tiny",
         action="store_true",
-        help="set LOBSTER_SCALEOUT_TINY=1 (CI smoke sizes)",
+        help="set LOBSTER_SCALEOUT_TINY=1 and LOBSTER_SERVE_TINY=1 (CI smoke sizes)",
     )
     args = parser.parse_args()
 
@@ -109,6 +109,7 @@ def main() -> int:
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     if args.tiny:
         env["LOBSTER_SCALEOUT_TINY"] = "1"
+        env["LOBSTER_SERVE_TINY"] = "1"
 
     rows: list[tuple[str, str, str, int]] = []
     all_ok = True

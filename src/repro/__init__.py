@@ -10,6 +10,9 @@ Public API highlights:
   optionally round-robined across a :class:`repro.DevicePool`.
 * :mod:`repro.dist` — sharded multi-device execution: hash-partitioned
   frontiers, exchange operators, and ``LobsterEngine(shards=N)``.
+* :mod:`repro.serve` — the online serving front-end: SLO-classed
+  requests, admission control, micro-batching scheduler over a device
+  pool, Poisson/bursty load generation, and the metrics registry.
 * :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
   content-addressed compile-once cache behind every engine construction.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
@@ -27,7 +30,10 @@ from .errors import (
     LobsterError,
     ParseError,
     ResolutionError,
+    SessionError,
     StratificationError,
+    TicketNotRunError,
+    UnknownTicketError,
 )
 from .dist import DevicePool, HashPartitioner, ShardedExecutor
 from .gpu.device import DeviceProfile, VirtualDevice
@@ -40,10 +46,21 @@ from .runtime.cache import (
 from .runtime.database import Database
 from .runtime.engine import ExecutionResult, LobsterEngine
 from .runtime.session import LobsterSession, SessionReport
+from .serve import (
+    AdmissionController,
+    LoadGenerator,
+    MetricsRegistry,
+    Outcome,
+    Request,
+    Scheduler,
+    ServeReport,
+    SLOClass,
+)
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
+    "AdmissionController",
     "CompileError",
     "CompiledProgram",
     "Database",
@@ -51,6 +68,13 @@ __all__ = [
     "DevicePool",
     "DeviceProfile",
     "HashPartitioner",
+    "LoadGenerator",
+    "MetricsRegistry",
+    "Outcome",
+    "Request",
+    "Scheduler",
+    "ServeReport",
+    "SLOClass",
     "ShardedExecutor",
     "EvaluationTimeout",
     "ExecutionError",
@@ -62,8 +86,11 @@ __all__ = [
     "ParseError",
     "ProgramCache",
     "ResolutionError",
+    "SessionError",
     "SessionReport",
     "StratificationError",
+    "TicketNotRunError",
+    "UnknownTicketError",
     "VirtualDevice",
     "__version__",
     "default_cache",

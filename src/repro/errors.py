@@ -56,3 +56,29 @@ class EvaluationTimeout(LobsterError):
 
 class ProvenanceError(LobsterError):
     """Raised on invalid tag operations (e.g. proof capacity overflow)."""
+
+
+class SessionError(LobsterError):
+    """Raised on invalid session ticket operations."""
+
+
+class UnknownTicketError(SessionError):
+    """Raised when a session is asked about a ticket it never issued."""
+
+    def __init__(self, ticket: int):
+        self.ticket = ticket
+        super().__init__(
+            f"unknown session ticket {ticket}: this session never issued it"
+        )
+
+
+class TicketNotRunError(SessionError):
+    """Raised when a ticket's result is requested before the query ran
+    (submit it and drain the session first)."""
+
+    def __init__(self, ticket: int):
+        self.ticket = ticket
+        super().__init__(
+            f"ticket {ticket} has not been run yet: call run_all() (or "
+            "run_batch) to drain the session before reading its result"
+        )

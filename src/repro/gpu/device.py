@@ -101,6 +101,18 @@ class DeviceProfile:
             + self.alloc_seconds
         )
 
+    def busy_breakdown(self) -> "dict[str, float]":
+        """The additive components of :attr:`busy_seconds`, keyed for
+        metrics export — the serving layer publishes these as per-device
+        gauges so operators can see *why* a device is the bottleneck
+        (compute vs host transfers vs exchange vs allocation)."""
+        return {
+            "kernel_seconds": self.kernel_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "exchange_seconds": self.exchange_seconds,
+            "alloc_seconds": self.alloc_seconds,
+        }
+
     @classmethod
     def merge(cls, profiles: "list[DeviceProfile]") -> "DeviceProfile":
         """Counter-wise aggregation of several device profiles.

@@ -115,6 +115,20 @@ class ExecutionResult:
         profiles = self.shard_profiles or [self.profile]
         return max(profile.busy_seconds for profile in profiles)
 
+    @property
+    def service_seconds(self) -> float:
+        """What this run costs on the serving clock: the modeled time
+        the device (or, sharded, the busiest shard) was occupied by it.
+
+        This is the quantity the online scheduler charges per request —
+        a device that just served a run is busy for ``service_seconds``
+        of simulated time before the next micro-batch can start.  Being
+        pure counter accounting from :class:`DeviceProfile`, it is
+        deterministic for a given program and input, which is what makes
+        serving latency distributions replayable.
+        """
+        return self.simulated_parallel_seconds
+
     def __repr__(self) -> str:  # compile-vs-run split at a glance
         compile_part = (
             "cached" if self.program_from_cache else f"{self.compile_seconds:.6f}s"

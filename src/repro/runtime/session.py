@@ -46,7 +46,7 @@ from .database import Database
 from .engine import ExecutionResult, LobsterEngine
 from ..apm.interpreter import ApmInterpreter
 from ..dist.pool import DevicePool
-from ..errors import LobsterError
+from ..errors import LobsterError, TicketNotRunError, UnknownTicketError
 from ..gpu.device import DeviceProfile
 
 
@@ -123,7 +123,16 @@ class LobsterSession:
     lands in the next drain).
     """
 
-    def __init__(self, engine: LobsterEngine, pool: DevicePool | None = None):
+    def __init__(
+        self,
+        engine: LobsterEngine,
+        pool: DevicePool | None = None,
+        metrics=None,
+    ):
+        """``metrics`` (a :class:`~repro.serve.metrics.MetricsRegistry`,
+        or anything with the same ``counter``/``histogram`` shape)
+        instruments every query this session runs — counts, incremental
+        hits, and the modeled per-query service-time distribution."""
         if pool is not None and engine._use_sharded():
             raise LobsterError(
                 "pick one scaling axis per session: a sharded engine splits "
@@ -132,7 +141,8 @@ class LobsterSession:
             )
         self.engine = engine
         self.pool = pool
-        self._queries: list[SubmittedQuery] = []
+        self.metrics = metrics
+        self._queries: dict[int, SubmittedQuery] = {}
         self._next_ticket = 0
         self._lock = threading.Lock()  # queue + ticket counter
         # Drains serialize on the shared resource's lock, not a
@@ -174,7 +184,11 @@ class LobsterSession:
     @property
     def pending(self) -> list[SubmittedQuery]:
         with self._lock:
-            return [query for query in self._queries if query.result is None]
+            return [
+                query
+                for query in self._queries.values()
+                if query.result is None
+            ]
 
     def create_database(self) -> Database:
         """A fresh database for this session's program (convenience
@@ -189,25 +203,31 @@ class LobsterSession:
         with self._lock:
             ticket = self._next_ticket
             self._next_ticket += 1
-            self._queries.append(SubmittedQuery(ticket, database))
+            self._queries[ticket] = SubmittedQuery(ticket, database)
         return ticket
 
     def database(self, ticket: int) -> Database:
         return self._query(ticket).database
 
     def result(self, ticket: int) -> ExecutionResult:
-        """The ticket's execution result; raises if it has not run yet."""
+        """The ticket's execution result.
+
+        Raises :class:`~repro.errors.UnknownTicketError` for a ticket
+        this session never issued, and
+        :class:`~repro.errors.TicketNotRunError` for one still awaiting
+        a drain — both :class:`~repro.errors.SessionError` subclasses.
+        """
         result = self._query(ticket).result
         if result is None:
-            raise LobsterError(f"ticket {ticket} has not been run yet")
+            raise TicketNotRunError(ticket)
         return result
 
     def _query(self, ticket: int) -> SubmittedQuery:
         with self._lock:
-            for query in self._queries:
-                if query.ticket == ticket:
-                    return query
-        raise LobsterError(f"unknown session ticket {ticket}")
+            query = self._queries.get(ticket)
+        if query is None:
+            raise UnknownTicketError(ticket)
+        return query
 
     # ------------------------------------------------------------------
 
@@ -242,24 +262,110 @@ class LobsterSession:
             )
             for query in self.pending:
                 if sharded:
-                    query.result = self.engine.run(
-                        query.database, reset_profile=False
-                    )
+                    interpreter = None
+                elif self.pool is not None:
+                    index, _ = self.pool.acquire()
+                    interpreter = self._pool_interpreters[index]
                 else:
-                    if self.pool is not None:
-                        index, _ = self.pool.acquire()
-                        interpreter = self._pool_interpreters[index]
-                    else:
-                        interpreter = self._interpreter
-                    query.result = self.engine.run(
-                        query.database,
-                        reset_profile=False,
-                        _interpreter=interpreter,
-                    )
-                report.results.append(query.result)
+                    interpreter = self._interpreter
+                report.results.append(self._execute(query, interpreter))
             report.device_profiles = [
                 device.profile.since(before)
                 for device, before in zip(devices, befores)
             ]
             report.profile = DeviceProfile.merge(report.device_profiles)
             return report
+
+    def run_batch(
+        self,
+        databases: list[Database],
+        *,
+        device_index: int | None = None,
+        retain: bool = True,
+    ) -> list[ExecutionResult]:
+        """The serving scheduler's single-batch step: run ``databases``
+        back-to-back on **one** device, returning the per-query results
+        in order.
+
+        Unlike :meth:`run_all` this never touches other pending queries
+        and never resets device profiles, so an online scheduler can
+        interleave micro-batches from many sessions over one pool while
+        each result still carries its own per-run counters (the
+        per-query timing the serve clock charges).  ``device_index``
+        pins the batch to that pool device (the scheduler picks it via
+        least-loaded acquisition); ``None`` acquires one from the pool —
+        or uses the engine's own device for a pool-less session.  The
+        batch shares the device's warm interpreter, so requests after
+        the first reuse the previous query's buffers.
+
+        ``retain=True`` registers the batch in the session's queue
+        (tickets, ``result()`` lookups).  The serving hot path passes
+        ``retain=False``: the scheduler owns the results through its
+        outcomes, and a long-lived session must not grow a record per
+        served request.
+
+        The batch enqueues under the drain lock, so a concurrent
+        :meth:`run_all` can never pick these queries up and run them a
+        second time; likewise, arguments are validated before anything
+        is enqueued, so a failed call leaves no half-submitted queries
+        behind.
+        """
+        if not databases:
+            return []
+        with self._run_lock:
+            if self.engine._use_sharded():
+                if device_index is not None:
+                    raise LobsterError(
+                        "a sharded engine runs every query across its own "
+                        "shard pool; device_index only applies to "
+                        "DevicePool sessions"
+                    )
+                interpreter = None
+            elif self.pool is not None:
+                if device_index is None:
+                    device_index, _ = self.pool.acquire()
+                elif not 0 <= device_index < len(self.pool):
+                    raise LobsterError(
+                        f"device_index {device_index} out of range for a "
+                        f"{len(self.pool)}-device pool"
+                    )
+                interpreter = self._pool_interpreters[device_index]
+            else:
+                if device_index not in (None, 0):
+                    raise LobsterError(
+                        "this session has no DevicePool; only "
+                        "device_index=None (or 0) is valid"
+                    )
+                interpreter = self._interpreter
+            if retain:
+                queries = [
+                    self._query(self.submit(database))
+                    for database in databases
+                ]
+            else:
+                queries = [
+                    SubmittedQuery(-1, database) for database in databases
+                ]
+            return [self._execute(query, interpreter) for query in queries]
+
+    def _execute(
+        self, query: SubmittedQuery, interpreter: ApmInterpreter | None
+    ) -> ExecutionResult:
+        """Run one query on ``interpreter`` (``None`` = the engine's own
+        path, used for sharded engines), recording metrics if a registry
+        is attached.  Caller holds the drain lock."""
+        if interpreter is None:
+            result = self.engine.run(query.database, reset_profile=False)
+        else:
+            result = self.engine.run(
+                query.database, reset_profile=False, _interpreter=interpreter
+            )
+        query.result = result
+        if self.metrics is not None:
+            self.metrics.counter("session.queries").inc()
+            if result.incremental:
+                self.metrics.counter("session.incremental_runs").inc()
+            self.metrics.histogram("session.service_s").observe(
+                result.service_seconds
+            )
+        return result

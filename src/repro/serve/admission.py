@@ -1,0 +1,132 @@
+"""Admission control: bounded queues and deadline-feasibility shedding.
+
+Without admission control an open-loop arrival process past capacity
+grows the queue (and every latency percentile) without bound.  The
+controller turns overload into *explicit* ``Rejected`` outcomes at the
+door, applying two tests when a request arrives:
+
+* **queue depth** — each SLO class owns a bounded queue
+  (``SLOClass.queue_limit``); arrivals past the bound are rejected
+  ("queue full").  This is the hard backstop.
+* **deadline feasibility** — the controller estimates when the request
+  could start (device backlog plus queued work ahead of it, using a
+  per-program EWMA of observed service times) and rejects requests whose
+  deadline would already be blown ("deadline infeasible").  This sheds
+  load *early*, before the request wastes queue residency it cannot
+  convert into a completion.
+
+:meth:`AdmissionController.backpressure` exposes queue pressure as a
+0..1 signal so closed-loop clients can throttle before rejections start.
+"""
+
+from __future__ import annotations
+
+from .queue import RequestQueue
+from .request import Request, SLOClass
+
+__all__ = ["AdmissionController", "ServiceEstimator"]
+
+
+class ServiceEstimator:
+    """EWMA of per-request modeled service seconds, per program key.
+
+    The scheduler feeds every completed request's service time back in;
+    the admission controller reads the estimate to price queued work.
+    An unseen program estimates 0.0 — optimistic, so cold-start traffic
+    is never rejected on a guess.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._estimates: dict[str, float] = {}
+
+    def observe(self, program_key: str, service_s: float) -> None:
+        previous = self._estimates.get(program_key)
+        if previous is None:
+            self._estimates[program_key] = service_s
+        else:
+            self._estimates[program_key] = (
+                self.alpha * service_s + (1 - self.alpha) * previous
+            )
+
+    def estimate(self, program_key: str) -> float:
+        return self._estimates.get(program_key, 0.0)
+
+
+class AdmissionController:
+    """Decides admit-or-reject for each arrival.
+
+    Parameters
+    ----------
+    classes:
+        The scheduler's SLO classes (depth bounds live on the class).
+    slack:
+        Multiplier on the feasibility estimate before it trips: > 1.0
+        admits optimistically (estimates are noisy), < 1.0 sheds early.
+    """
+
+    def __init__(self, classes: dict[str, SLOClass], slack: float = 1.0):
+        self.classes = classes
+        self.slack = slack
+        self.estimator = ServiceEstimator()
+
+    def decide(
+        self,
+        request: Request,
+        *,
+        now: float,
+        queue: RequestQueue,
+        free_at: list[float],
+    ) -> str | None:
+        """``None`` to admit, else a human-readable rejection reason."""
+        slo_class = self.classes[request.slo]
+        depth = queue.depth(request.slo)
+        if depth >= slo_class.queue_limit:
+            return (
+                f"queue full: {depth} {request.slo} requests queued "
+                f"(limit {slo_class.queue_limit})"
+            )
+
+        # Feasibility: earliest a fresh batch could start is when the
+        # least-backlogged device frees up, plus the queued work ahead
+        # of this request spread across the fleet.  Only classes that
+        # dispatch at or before this one's priority count as "ahead" —
+        # lower-priority backlog runs after it and must not push
+        # high-priority traffic into rejection.
+        device_wait = max(0.0, min(free_at) - now)
+        backlog_s = self._queued_work_seconds(
+            queue, max_priority=slo_class.priority
+        ) / max(len(free_at), 1)
+        service = self.estimator.estimate(request.program_key)
+        estimated_finish = now + (device_wait + backlog_s + service) * self.slack
+        deadline_at = request.deadline_at(slo_class)
+        if estimated_finish > deadline_at:
+            wait_ms = (estimated_finish - now) * 1e3
+            budget_ms = (deadline_at - now) * 1e3
+            return (
+                f"deadline infeasible: estimated {wait_ms:.3f}ms to "
+                f"completion exceeds the {budget_ms:.3f}ms budget"
+            )
+        return None
+
+    def _queued_work_seconds(
+        self, queue: RequestQueue, max_priority: int
+    ) -> float:
+        """EWMA-priced queued work in classes dispatching at or before
+        ``max_priority`` (lower value = dispatches earlier)."""
+        total = 0.0
+        for group in queue.groups():
+            if self.classes[group.slo].priority > max_priority:
+                continue
+            total += len(group) * self.estimator.estimate(group.program_key)
+        return total
+
+    def backpressure(self, queue: RequestQueue) -> float:
+        """Queue pressure in [0, 1]: the fullest class's depth over its
+        limit.  1.0 means at least one class is rejecting on depth."""
+        pressure = 0.0
+        for name, slo_class in self.classes.items():
+            pressure = max(pressure, queue.depth(name) / slo_class.queue_limit)
+        return min(pressure, 1.0)

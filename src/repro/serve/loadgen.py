@@ -1,0 +1,171 @@
+"""Open-loop load generation on the serve clock.
+
+A :class:`LoadGenerator` synthesizes timestamped request streams over
+the existing workload generators: arrival gaps are drawn from a seeded
+RNG, databases come from a caller-supplied factory, and nothing touches
+the host clock — the same seed always produces the same stream, so a
+serving run's full latency histogram is replayable bit-for-bit.
+
+Two arrival processes cover the representative load shapes (cf. the
+SPEC CPU2026 workload-representativeness discussion, PAPERS.md):
+
+* ``poisson`` — memoryless arrivals at a constant offered rate, the
+  M/G/k baseline every latency-throughput curve is swept against;
+* ``bursty`` — a two-state modulated Poisson process: a deterministic
+  duty cycle alternates an ON phase at ``burst_factor`` times the base
+  rate with a quiet OFF phase, producing the arrival clumps that stress
+  admission control and queue depth far more than the average rate
+  suggests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .request import Request
+from ..errors import LobsterError
+from ..runtime.database import Database
+from ..runtime.engine import LobsterEngine
+
+__all__ = ["LoadGenerator"]
+
+#: Database factory: ``(rng, index) -> Database`` or
+#: ``(rng, index) -> (Database, meta_dict)``.
+DatabaseFactory = Callable[[np.random.Generator, int], Any]
+
+
+class LoadGenerator:
+    """Deterministic open-loop request streams over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The compiled program every generated request targets.
+    make_database:
+        ``(rng, index) -> Database`` (optionally ``(Database, meta)``)
+        building one request's input facts from the seeded RNG.
+    rate_hz:
+        Mean offered load in requests per simulated second.
+    n_requests:
+        Length of the stream.
+    pattern:
+        ``"poisson"`` or ``"bursty"``.
+    slo / class_mix:
+        Either a single SLO class name for the whole stream, or a
+        ``{class_name: weight}`` mix sampled per request.
+    burst_factor, duty_cycle, cycle_s:
+        Bursty-pattern shape: the ON phase runs at ``rate_hz *
+        burst_factor`` for ``duty_cycle`` of each ``cycle_s`` window
+        (default window: 20 mean inter-arrival times), the OFF phase at
+        the complementary rate so the long-run average stays near
+        ``rate_hz``.  The OFF rate is floored at 5% of base, so when
+        ``burst_factor * duty_cycle > 1`` the average offered rate
+        overshoots ``rate_hz`` slightly — the bursts alone already
+        exceed the nominal budget.
+    """
+
+    def __init__(
+        self,
+        engine: LobsterEngine,
+        make_database: DatabaseFactory,
+        *,
+        rate_hz: float,
+        n_requests: int,
+        seed: int = 0,
+        pattern: str = "poisson",
+        slo: str = "interactive",
+        class_mix: dict[str, float] | None = None,
+        deadline_s: float | None = None,
+        start_s: float = 0.0,
+        burst_factor: float = 4.0,
+        duty_cycle: float = 0.25,
+        cycle_s: float | None = None,
+    ):
+        if rate_hz <= 0 or n_requests < 0:
+            raise LobsterError("need rate_hz > 0 and n_requests >= 0")
+        if pattern not in ("poisson", "bursty"):
+            raise LobsterError(f"unknown arrival pattern {pattern!r}")
+        if not 0 < duty_cycle < 1:
+            raise LobsterError("duty_cycle must be in (0, 1)")
+        if burst_factor <= 0:
+            raise LobsterError("burst_factor must be > 0")
+        if cycle_s is not None and cycle_s <= 0:
+            raise LobsterError("cycle_s must be > 0")
+        self.engine = engine
+        self.make_database = make_database
+        self.rate_hz = rate_hz
+        self.n_requests = n_requests
+        self.seed = seed
+        self.pattern = pattern
+        self.slo = slo
+        self.class_mix = dict(class_mix) if class_mix else None
+        self.deadline_s = deadline_s
+        self.start_s = start_s
+        self.burst_factor = burst_factor
+        self.duty_cycle = duty_cycle
+        self.cycle_s = cycle_s if cycle_s is not None else 20.0 / rate_hz
+
+    # ------------------------------------------------------------------
+
+    def arrival_times(self) -> list[float]:
+        """The stream's arrival timestamps (simulated seconds)."""
+        rng = np.random.default_rng(self.seed)
+        times: list[float] = []
+        t = self.start_s
+        if self.pattern == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_hz, size=self.n_requests)
+            for gap in gaps:
+                t += float(gap)
+                times.append(t)
+            return times
+        # Bursty: exponential gaps at the current phase's rate; the
+        # phase is a deterministic square wave over the cycle window.
+        on_rate = self.rate_hz * self.burst_factor
+        off_weight = 1.0 - self.burst_factor * self.duty_cycle
+        off_rate = max(
+            self.rate_hz * off_weight / (1.0 - self.duty_cycle),
+            0.05 * self.rate_hz,
+        )
+        for _ in range(self.n_requests):
+            phase = (t - self.start_s) % self.cycle_s
+            rate = on_rate if phase < self.duty_cycle * self.cycle_s else off_rate
+            t += float(rng.exponential(1.0 / rate))
+            times.append(t)
+        return times
+
+    def generate(self) -> list[Request]:
+        """Build the full request stream (databases included)."""
+        rng = np.random.default_rng(self.seed + 1)
+        classes = None
+        if self.class_mix:
+            names = sorted(self.class_mix)
+            weights = np.array([self.class_mix[name] for name in names])
+            probabilities = weights / weights.sum()
+            classes = list(
+                rng.choice(names, size=self.n_requests, p=probabilities)
+            )
+        requests: list[Request] = []
+        for index, arrival in enumerate(self.arrival_times()):
+            built = self.make_database(rng, index)
+            if isinstance(built, tuple):
+                database, meta = built
+            else:
+                database, meta = built, {}
+            if not isinstance(database, Database):
+                raise LobsterError(
+                    "make_database must return a Database "
+                    "(or a (Database, meta) pair)"
+                )
+            requests.append(
+                Request(
+                    engine=self.engine,
+                    database=database,
+                    slo=str(classes[index]) if classes else self.slo,
+                    arrival_s=arrival,
+                    deadline_s=self.deadline_s,
+                    meta=dict(meta),
+                )
+            )
+        return requests

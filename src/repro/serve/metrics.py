@@ -1,0 +1,277 @@
+"""Low-overhead metrics for the serving front-end.
+
+Serving systems need always-on instrumentation of the hot path: a
+counter increment or histogram observation must cost a few arithmetic
+operations, never an allocation per sample (cf. the DBI survey's
+overhead taxonomy, PAPERS.md).  Three instrument kinds cover the
+serving stack:
+
+* :class:`Counter` — monotone event counts (requests admitted, batches
+  dispatched, requests shed);
+* :class:`Gauge` — last-written values with a high-water mark (queue
+  depth, per-device busy seconds);
+* :class:`Histogram` — streaming latency distributions over geometric
+  buckets, answering p50/p95/p99 without retaining samples.
+
+All observations the serving layer feeds in are *modeled* seconds from
+the device cost model, so a registry's whole state — histograms
+included — is deterministic and replayable for one seed.
+
+A :class:`MetricsRegistry` is a thread-safe name->instrument map with
+get-or-create semantics and a text report renderer.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-written value plus its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            self.max_value = max(self.max_value, value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """A streaming histogram over geometric buckets.
+
+    Bucket ``i >= 1`` covers ``(lo * growth**(i-1), lo * growth**i]``;
+    bucket 0 absorbs everything ``<= lo``.  With the default
+    ``growth=1.08`` a quantile is answered to within ~8% relative
+    error over twelve decades — plenty for latency SLO checks — using a
+    sparse dict of bucket counts and O(1) per observation.
+
+    Quantiles interpolate linearly inside the winning bucket and clamp
+    to the observed min/max, so ``percentile`` is exact for single-value
+    histograms and deterministic everywhere.
+    """
+
+    __slots__ = ("name", "lo", "growth", "n_buckets", "counts", "count",
+                 "total", "min", "max", "_log_growth", "_lock")
+
+    def __init__(
+        self,
+        name: str = "",
+        lo: float = 1e-7,
+        growth: float = 1.08,
+        hi: float = 1e5,
+    ):
+        if lo <= 0 or growth <= 1 or hi <= lo:
+            raise ValueError("need lo > 0, growth > 1, hi > lo")
+        self.name = name
+        self.lo = lo
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.n_buckets = int(math.ceil(math.log(hi / lo) / self._log_growth)) + 1
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        index = 1 + int(math.log(value / self.lo) / self._log_growth)
+        return min(index, self.n_buckets - 1)
+
+    def _edges(self, index: int) -> tuple[float, float]:
+        if index == 0:
+            return 0.0, self.lo
+        return self.lo * self.growth ** (index - 1), self.lo * self.growth ** index
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = self._bucket(value)
+            self.counts[index] = self.counts.get(index, 0) + 1
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 < p <= 100), interpolated within the
+        winning bucket and clamped to the observed range."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile wants 0 < p <= 100, got {p}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        cumulative = 0
+        for index in sorted(self.counts):
+            in_bucket = self.counts[index]
+            if cumulative + in_bucket >= rank:
+                low, high = self._edges(index)
+                fraction = (rank - cumulative) / in_bucket
+                value = low + fraction * (high - low)
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+        return self.max  # unreachable: ranks are <= count
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def state(self) -> tuple:
+        """Canonical value state (bucket counts + extrema), the basis of
+        equality — two histograms fed identical observations in any
+        order compare equal.  ``total`` is deliberately excluded: float
+        summation is order-sensitive at the last bit, and reordering
+        identical observations must not break equality."""
+        return (
+            self.lo,
+            self.growth,
+            self.count,
+            self.min,
+            self.max,
+            tuple(sorted(self.counts.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.state() == other.state()
+
+    def __hash__(self) -> int:  # histograms are mutable; identity-hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return f"Histogram({self.name}, empty)"
+        return (
+            f"Histogram({self.name}, n={self.count}, mean={self.mean:.6f}, "
+            f"p50={self.p50:.6f}, p99={self.p99:.6f})"
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe name->instrument map with get-or-create semantics.
+
+    Names are dotted paths (``serve.latency_s.interactive``); the report
+    groups instruments by kind and sorts by name, so renders of two
+    deterministic runs diff cleanly.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, **kwargs)
+            return instrument
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-value view: counters/gauges to numbers, histograms to
+        their canonical state tuples."""
+        with self._lock:
+            out: dict[str, object] = {}
+            for name, counter in self._counters.items():
+                out[name] = counter.value
+            for name, gauge in self._gauges.items():
+                out[name] = (gauge.value, gauge.max_value)
+            for name, histogram in self._histograms.items():
+                out[name] = histogram.state()
+            return out
+
+    def render(self, title: str = "metrics") -> str:
+        """A text report: counters, gauges, then histogram quantiles.
+        Takes the registry lock so a monitoring thread can render while
+        the serving thread is still creating instruments."""
+        with self._lock:
+            return self._render(title)
+
+    def _render(self, title: str) -> str:
+        lines = [f"=== {title} ==="]
+        if self._counters:
+            lines.append("-- counters --")
+            for name in sorted(self._counters):
+                lines.append(f"{name:<44} {self._counters[name].value}")
+        if self._gauges:
+            lines.append("-- gauges --")
+            for name in sorted(self._gauges):
+                gauge = self._gauges[name]
+                lines.append(
+                    f"{name:<44} {gauge.value:.6g} (max {gauge.max_value:.6g})"
+                )
+        if self._histograms:
+            lines.append("-- histograms --")
+            for name in sorted(self._histograms):
+                hist = self._histograms[name]
+                if not hist.count:
+                    lines.append(f"{name:<44} (empty)")
+                    continue
+                lines.append(
+                    f"{name:<44} n={hist.count} mean={hist.mean:.6f} "
+                    f"p50={hist.p50:.6f} p95={hist.p95:.6f} "
+                    f"p99={hist.p99:.6f} max={hist.max:.6f}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The scheduler's request queue: per-(class, program) micro-batch groups.
+
+Admitted requests wait in FIFO *groups* keyed by ``(slo class, compiled
+program key)`` — the compatibility unit for micro-batching, since only
+requests sharing one compiled program can ride one warm interpreter.  A
+group becomes *ready* to dispatch when it has coalesced a full batch or
+its oldest request has waited out the class's batching window
+(``max_batch_delay_s``); ready groups dispatch in (class priority,
+oldest arrival) order so interactive traffic cuts ahead of batch.
+
+The queue is a single-threaded structure owned by the scheduler's event
+loop; concurrent producers go through the scheduler's intake, not here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .request import Request, SLOClass
+
+__all__ = ["BatchGroup", "RequestQueue"]
+
+
+@dataclass
+class BatchGroup:
+    """One FIFO of compatible requests awaiting coalescing."""
+
+    slo: str
+    program_key: str
+    requests: deque[Request] = field(default_factory=deque)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_arrival_s(self) -> float:
+        return self.requests[0].arrival_s
+
+    def ready_at(self, slo_class: SLOClass) -> float:
+        """Serve-clock time at which this group becomes dispatchable:
+        immediately once full, else when the batching window closes on
+        the oldest request."""
+        if len(self.requests) >= slo_class.max_batch_size:
+            return self.oldest_arrival_s
+        return self.oldest_arrival_s + slo_class.max_batch_delay_s
+
+
+class RequestQueue:
+    """Micro-batch groups with depth accounting per SLO class."""
+
+    def __init__(self, classes: dict[str, SLOClass]):
+        self.classes = classes
+        self._groups: dict[tuple[str, str], BatchGroup] = {}
+        self._depths: dict[str, int] = {name: 0 for name in classes}
+
+    def __len__(self) -> int:
+        return sum(self._depths.values())
+
+    @property
+    def total_depth(self) -> int:
+        return len(self)
+
+    def depth(self, slo: str) -> int:
+        return self._depths.get(slo, 0)
+
+    def push(self, request: Request) -> BatchGroup:
+        key = (request.slo, request.program_key)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = BatchGroup(request.slo, request.program_key)
+        group.requests.append(request)
+        self._depths[request.slo] = self._depths.get(request.slo, 0) + 1
+        return group
+
+    def pop_batch(self, group: BatchGroup, max_n: int) -> list[Request]:
+        """Dequeue up to ``max_n`` requests from ``group`` FIFO-order."""
+        batch: list[Request] = []
+        while group.requests and len(batch) < max_n:
+            batch.append(group.requests.popleft())
+        self._depths[group.slo] -= len(batch)
+        if not group.requests:
+            del self._groups[(group.slo, group.program_key)]
+        return batch
+
+    def groups(self) -> list[BatchGroup]:
+        """The non-empty micro-batch groups (admission prices its
+        backlog estimate over these)."""
+        return list(self._groups.values())
+
+    def ready_groups(self, now: float) -> list[BatchGroup]:
+        """Groups dispatchable at ``now``, ordered (priority, oldest
+        arrival, program key) for deterministic dispatch."""
+        ready = [
+            group
+            for group in self._groups.values()
+            if group.ready_at(self.classes[group.slo]) <= now
+        ]
+        ready.sort(
+            key=lambda g: (
+                self.classes[g.slo].priority,
+                g.oldest_arrival_s,
+                g.program_key,
+            )
+        )
+        return ready
+
+    def next_ready_time(self) -> float | None:
+        """The earliest serve-clock time any group becomes dispatchable
+        (``None`` when the queue is empty)."""
+        times = [
+            group.ready_at(self.classes[group.slo])
+            for group in self._groups.values()
+        ]
+        return min(times) if times else None

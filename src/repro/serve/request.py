@@ -1,0 +1,160 @@
+"""Requests, SLO classes, and outcomes — the serving layer's vocabulary.
+
+A :class:`Request` is one timestamped unit of online traffic: a database
+to evaluate through an engine's compiled program, carrying the SLO class
+it arrived under.  Requests are *open-loop*: arrival times come from the
+load generator (or the caller), not from when the scheduler gets around
+to them, so overload manifests as queueing delay rather than as a
+slowed-down clock.
+
+Every request ends in exactly one :class:`Outcome` — ``completed``,
+``rejected`` (admission control turned it away), or ``shed`` (admitted,
+but its deadline expired before service).  There is no silent-drop
+state: the scheduler's accounting invariant is
+``submitted == completed + rejected + shed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # circular-import guard: engine imports nothing from serve
+    from ..runtime.database import Database
+    from ..runtime.engine import ExecutionResult, LobsterEngine
+
+__all__ = [
+    "COMPLETED",
+    "REJECTED",
+    "SHED",
+    "Outcome",
+    "Request",
+    "SLOClass",
+    "default_slo_classes",
+]
+
+#: Outcome statuses (plain strings so outcomes serialize trivially).
+COMPLETED = "completed"
+REJECTED = "rejected"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One latency class and its scheduling parameters.
+
+    ``deadline_s`` is the end-to-end latency objective measured from
+    arrival; a request still queued past it is shed.  ``max_batch_delay_s``
+    bounds how long the scheduler may hold the first request of a
+    micro-batch waiting for peers, and ``max_batch_size`` bounds the
+    coalesced batch.  ``queue_limit`` is the admission controller's
+    per-class depth bound; ``priority`` orders classes at dispatch
+    (lower dispatches first).
+    """
+
+    name: str
+    deadline_s: float
+    max_batch_delay_s: float
+    max_batch_size: int = 8
+    queue_limit: int = 128
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.deadline_s <= 0 or self.max_batch_delay_s < 0:
+            raise ValueError("deadline must be > 0 and batch delay >= 0")
+        if self.max_batch_size < 1 or self.queue_limit < 1:
+            raise ValueError("max_batch_size and queue_limit must be >= 1")
+
+
+def default_slo_classes() -> dict[str, SLOClass]:
+    """The stock two-class setup: latency-sensitive ``interactive``
+    traffic ahead of throughput-oriented ``batch`` traffic."""
+    return {
+        "interactive": SLOClass(
+            "interactive",
+            deadline_s=0.05,
+            max_batch_delay_s=0.002,
+            max_batch_size=4,
+            queue_limit=64,
+            priority=0,
+        ),
+        "batch": SLOClass(
+            "batch",
+            deadline_s=1.0,
+            max_batch_delay_s=0.02,
+            max_batch_size=16,
+            queue_limit=256,
+            priority=1,
+        ),
+    }
+
+
+@dataclass
+class Request:
+    """One unit of online work: evaluate ``database`` through
+    ``engine``'s compiled program under SLO class ``slo``."""
+
+    engine: "LobsterEngine"
+    database: "Database"
+    slo: str = "interactive"
+    #: Arrival timestamp on the serve clock (simulated seconds).
+    arrival_s: float = 0.0
+    #: Per-request deadline override; ``None`` uses the class deadline.
+    deadline_s: float | None = None
+    #: Assigned by the scheduler at submit time.
+    ticket: int | None = None
+    #: Caller payload carried through to the outcome (e.g. the input
+    #: facts, so a verifier can replay the request solo).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def program_key(self) -> str:
+        """The micro-batching compatibility key: requests coalesce iff
+        they share one compiled program (the ProgramCache identity —
+        source, provenance, optimization flags) *and* the same
+        ``max_iterations``, the one engine setting that changes
+        execution semantics without changing the compiled artifact.
+        A whole micro-batch runs through one session's engine, so
+        differently-budgeted engines must never share a batch."""
+        return f"{self.engine.compiled.key}:{self.engine.max_iterations}"
+
+    def deadline_at(self, slo_class: SLOClass) -> float:
+        """Absolute serve-clock time at which this request expires."""
+        deadline = self.deadline_s if self.deadline_s is not None else slo_class.deadline_s
+        return self.arrival_s + deadline
+
+
+@dataclass
+class Outcome:
+    """The terminal record of one request (exactly one per ticket)."""
+
+    ticket: int
+    status: str  # COMPLETED | REJECTED | SHED
+    slo: str
+    arrival_s: float
+    #: Why a non-completed request ended (admission reason, deadline).
+    reason: str | None = None
+    #: Dispatch time on the serve clock (completed requests only).
+    start_s: float | None = None
+    #: Completion time on the serve clock (completed requests only).
+    finish_s: float | None = None
+    #: Modeled device occupancy of this request's run.
+    service_s: float = 0.0
+    #: Device the micro-batch ran on, and how many requests shared it.
+    device_index: int | None = None
+    batch_size: int = 0
+    result: "ExecutionResult | None" = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def queue_wait_s(self) -> float:
+        if self.start_s is None:
+            return 0.0
+        return self.start_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (arrival -> completion) on the serve clock."""
+        if self.finish_s is None:
+            return 0.0
+        return self.finish_s - self.arrival_s

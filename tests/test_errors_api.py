@@ -19,11 +19,20 @@ class TestErrorHierarchy:
             "DeviceOutOfMemory",
             "EvaluationTimeout",
             "ProvenanceError",
+            "SessionError",
+            "UnknownTicketError",
+            "TicketNotRunError",
         ):
             assert issubclass(getattr(errors, name), errors.LobsterError), name
 
     def test_oom_is_execution_error(self):
         assert issubclass(errors.DeviceOutOfMemory, errors.ExecutionError)
+
+    def test_ticket_errors_are_session_errors(self):
+        assert issubclass(errors.UnknownTicketError, errors.SessionError)
+        assert issubclass(errors.TicketNotRunError, errors.SessionError)
+        assert errors.UnknownTicketError(3).ticket == 3
+        assert errors.TicketNotRunError(4).ticket == 4
 
     def test_parse_error_location_prefix(self):
         error = errors.ParseError("bad token", line=3, column=7)

@@ -1,0 +1,84 @@
+"""DevicePool acquisition policies: round-robin vs least-loaded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DevicePool, LobsterEngine, LobsterSession
+from repro.workloads.analytics import TRANSITIVE_CLOSURE
+
+
+class TestRoundRobin:
+    def test_fair_rotation(self):
+        pool = DevicePool(3)
+        assert [pool.acquire()[0] for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_eligible_subset_preserves_rotation(self):
+        pool = DevicePool(4)
+        pool.acquire()  # cursor -> 1
+        index, _ = pool.acquire(eligible=[0, 2])
+        assert index == 2  # first eligible at or after the cursor
+        assert pool.acquire()[0] == 3  # cursor advanced past 2
+
+
+class TestLeastLoaded:
+    def test_picks_idle_device(self):
+        pool = DevicePool(3, policy="least-loaded")
+        pool.devices[0].profile.kernel_seconds = 5.0
+        pool.devices[1].profile.kernel_seconds = 1.0
+        pool.devices[2].profile.kernel_seconds = 3.0
+        assert pool.acquire()[0] == 1
+
+    def test_ties_break_to_lowest_index(self):
+        pool = DevicePool(3, policy="least-loaded")
+        assert pool.acquire()[0] == 0
+
+    def test_eligible_subset(self):
+        pool = DevicePool(3, policy="least-loaded")
+        pool.devices[1].profile.kernel_seconds = 1.0
+        pool.devices[2].profile.kernel_seconds = 2.0
+        # Device 0 is globally least loaded but not eligible.
+        assert pool.acquire(eligible=[1, 2])[0] == 1
+
+    def test_policy_override_per_call(self):
+        pool = DevicePool(2)  # default round-robin
+        pool.devices[0].profile.kernel_seconds = 9.0
+        assert pool.acquire(policy="least-loaded")[0] == 1
+        assert pool.acquire()[0] == 0  # rotation untouched by the override
+
+    def test_balances_heterogeneous_queries(self):
+        # Alternating heavy/light queries: least-loaded steers work away
+        # from the device that absorbed the heavy ones, ending closer to
+        # balanced than blind rotation does.
+        def drain(policy):
+            engine = LobsterEngine(TRANSITIVE_CLOSURE, provenance="unit")
+            pool = DevicePool(2, policy=policy)
+            session = LobsterSession(engine, pool=pool)
+            for size in (40, 2, 40, 2, 40, 2, 40, 2):
+                db = session.create_database()
+                db.add_facts("edge", [(i, i + 1) for i in range(size)])
+                session.submit(db)
+            session.run_all()
+            busy = sorted(d.profile.busy_seconds for d in pool.devices)
+            return busy[1] - busy[0]  # imbalance
+
+        assert drain("least-loaded") <= drain("round-robin")
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool policy"):
+            DevicePool(2, policy="random")
+        pool = DevicePool(2)
+        with pytest.raises(ValueError, match="unknown pool policy"):
+            pool.acquire(policy="random")
+
+    def test_empty_eligible_rejected(self):
+        pool = DevicePool(2)
+        with pytest.raises(ValueError, match="eligible"):
+            pool.acquire(eligible=[])
+
+    def test_out_of_range_eligible_rejected(self):
+        pool = DevicePool(2)
+        with pytest.raises(ValueError, match="out of range"):
+            pool.acquire(eligible=[0, 5])

@@ -1,0 +1,136 @@
+"""The serving metrics registry: counters, gauges, streaming histograms."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.max_value == 3.0
+
+    def test_counter_thread_safety(self):
+        counter = Counter("c")
+
+        def work():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 80_000
+
+
+class TestHistogram:
+    def test_single_value_percentiles_are_exact(self):
+        hist = Histogram("h")
+        hist.observe(0.125)
+        # Interpolation clamps to the observed range, so a single-value
+        # histogram answers every quantile exactly.
+        assert hist.p50 == hist.p99 == 0.125
+        assert hist.count == 1 and hist.min == hist.max == 0.125
+
+    def test_percentiles_track_known_distribution(self):
+        hist = Histogram("h")
+        values = np.linspace(0.001, 1.0, 1000)
+        for v in values:
+            hist.observe(float(v))
+        # Geometric buckets at growth=1.08 → ~8% relative resolution.
+        assert hist.p50 == pytest.approx(0.5, rel=0.10)
+        assert hist.p99 == pytest.approx(0.99, rel=0.10)
+        assert hist.mean == pytest.approx(values.mean(), rel=1e-9)
+
+    def test_order_independence(self):
+        rng = np.random.default_rng(7)
+        values = list(rng.exponential(0.01, size=500))
+        a, b = Histogram("a"), Histogram("b")
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a == b
+        assert a.state() == b.state()
+
+    def test_inequality_on_different_observations(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.observe(1.0)
+        b.observe(2.0)
+        assert a != b
+
+    def test_overflow_and_underflow_clamp(self):
+        hist = Histogram("h", lo=1e-3, hi=1.0)
+        hist.observe(1e-9)  # -> bucket 0
+        hist.observe(1e9)  # -> last (overflow) bucket
+        assert hist.count == 2
+        assert hist._bucket(1e9) == hist.n_buckets - 1
+        # Quantiles stay inside the observed range even for clamped
+        # observations.
+        assert 1e-9 <= hist.percentile(1) <= 1e-3
+        assert 1.0 <= hist.percentile(100) <= 1e9
+
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.p99 == 0.0
+        assert hist.mean == 0.0
+
+    def test_percentile_validates_range(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_plain_values(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["reqs"] == 3
+        assert snap["depth"] == (2.0, 2.0)
+        assert snap["lat"] == registry.histogram("lat").state()
+
+    def test_render_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.completed.interactive").inc()
+        registry.gauge("device.0.busy_seconds").set(0.25)
+        registry.histogram("serve.latency_s.interactive").observe(0.01)
+        registry.histogram("empty.hist")
+        text = registry.render("test report")
+        for needle in (
+            "test report",
+            "serve.completed.interactive",
+            "device.0.busy_seconds",
+            "serve.latency_s.interactive",
+            "p99",
+            "(empty)",
+        ):
+            assert needle in text

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro import LobsterEngine, LobsterError, LobsterSession, ProgramCache
+from repro import (
+    DevicePool,
+    LobsterEngine,
+    LobsterError,
+    LobsterSession,
+    ProgramCache,
+    SessionError,
+    TicketNotRunError,
+    UnknownTicketError,
+)
 
 TC = "rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y))."
 
@@ -71,13 +80,30 @@ class TestSessionBatching:
         assert session.result(first_ticket) is first_result
         assert not session.pending
 
-    def test_ticket_errors(self):
+    def test_unknown_ticket_raises_typed_error(self):
         session = LobsterSession(LobsterEngine(TC))
-        with pytest.raises(LobsterError, match="unknown session ticket"):
+        with pytest.raises(UnknownTicketError, match="unknown session ticket"):
             session.database(99)
+        with pytest.raises(UnknownTicketError) as excinfo:
+            session.result(42)
+        assert excinfo.value.ticket == 42
+
+    def test_not_yet_run_ticket_raises_typed_error(self):
+        session = LobsterSession(LobsterEngine(TC))
         ticket = session.submit()
-        with pytest.raises(LobsterError, match="has not been run"):
+        with pytest.raises(TicketNotRunError, match="has not been run") as excinfo:
             session.result(ticket)
+        assert excinfo.value.ticket == ticket
+        # The database itself is reachable before the run.
+        assert session.database(ticket) is not None
+
+    def test_ticket_errors_catchable_as_session_and_lobster_errors(self):
+        session = LobsterSession(LobsterEngine(TC))
+        for exc_type in (SessionError, LobsterError):
+            with pytest.raises(exc_type):
+                session.result(7)
+        assert issubclass(UnknownTicketError, SessionError)
+        assert issubclass(TicketNotRunError, SessionError)
 
 
 class TestSessionAmortization:
@@ -142,6 +168,82 @@ class TestSessionAmortization:
             assert batch_probs.keys() == solo_probs.keys()
             for row, prob in batch_probs.items():
                 assert prob == pytest.approx(solo_probs[row], abs=1e-12)
+
+    def test_run_batch_is_a_reusable_single_batch_step(self):
+        # The serving scheduler's primitive: run a micro-batch on one
+        # chosen pool device, get per-query results back in order.
+        engine = LobsterEngine(TC, provenance="unit")
+        pool = DevicePool(2)
+        session = LobsterSession(engine, pool=pool)
+        databases = []
+        for edges in DATASETS[:3]:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            databases.append(db)
+        results = session.run_batch(databases, device_index=1)
+        assert len(results) == 3
+        for db, edges, result in zip(databases, DATASETS, results):
+            assert set(db.result("path").rows()) == brute_closure(edges)
+            # Per-query timing for the serve clock: modeled, positive.
+            assert result.service_seconds > 0
+        # The whole batch landed on device 1 only.
+        assert pool.devices[1].profile.kernel_launches > 0
+        assert pool.devices[0].profile.kernel_launches == 0
+        # Batch queries are not pending anymore; run_all has nothing new.
+        assert session.pending == []
+
+    def test_run_batch_validates_device_index(self):
+        engine = LobsterEngine(TC)
+        session = LobsterSession(engine, pool=DevicePool(2))
+        db = session.create_database()
+        db.add_facts("edge", [(0, 1)])
+        with pytest.raises(LobsterError, match="out of range"):
+            session.run_batch([db], device_index=5)
+        # A failed call leaves nothing half-submitted behind.
+        assert len(session) == 0 and session.pending == []
+        poolless = LobsterSession(LobsterEngine(TC))
+        db2 = poolless.create_database()
+        db2.add_facts("edge", [(0, 1)])
+        with pytest.raises(LobsterError, match="no DevicePool"):
+            poolless.run_batch([db2], device_index=1)
+        assert len(poolless) == 0
+        assert poolless.run_batch([]) == []
+
+    def test_run_batch_retain_false_keeps_session_unbounded_free(self):
+        # The serving hot path: results come back, but the session keeps
+        # no per-request record (a long-lived scheduler must not leak).
+        engine = LobsterEngine(TC, provenance="unit")
+        session = LobsterSession(engine)
+        databases = []
+        for edges in DATASETS[:3]:
+            db = session.create_database()
+            db.add_facts("edge", edges)
+            databases.append(db)
+        results = session.run_batch(databases, retain=False)
+        assert len(results) == 3
+        for db, edges in zip(databases, DATASETS):
+            assert set(db.result("path").rows()) == brute_closure(edges)
+        assert len(session) == 0 and session.pending == []
+
+    def test_run_batch_results_match_run_all(self):
+        batch_engine = LobsterEngine(TC, provenance="minmaxprob")
+        batch_session = LobsterSession(batch_engine)
+        drain_engine = LobsterEngine(TC, provenance="minmaxprob")
+        drain_session = LobsterSession(drain_engine)
+        batch_dbs, drain_tickets = [], []
+        for edges in DATASETS:
+            db = batch_session.create_database()
+            db.add_facts("edge", edges, probs=[0.8] * len(edges))
+            batch_dbs.append(db)
+            other = drain_session.create_database()
+            other.add_facts("edge", edges, probs=[0.8] * len(edges))
+            drain_tickets.append(drain_session.submit(other))
+        batch_session.run_batch(batch_dbs)
+        drain_session.run_all()
+        for db, ticket in zip(batch_dbs, drain_tickets):
+            a = batch_engine.query_probs(db, "path")
+            b = drain_engine.query_probs(drain_session.database(ticket), "path")
+            assert a == b  # identical rows and identical floats
 
     def test_incremental_rerun_inside_session(self):
         engine = LobsterEngine(TC, provenance="unit")
