@@ -95,7 +95,10 @@ def main() -> int:
     parser.add_argument(
         "--tiny",
         action="store_true",
-        help="set LOBSTER_SCALEOUT_TINY=1 and LOBSTER_SERVE_TINY=1 (CI smoke sizes)",
+        help=(
+            "set LOBSTER_SCALEOUT_TINY=1, LOBSTER_SERVE_TINY=1, and "
+            "LOBSTER_STREAM_TINY=1 (CI smoke sizes)"
+        ),
     )
     args = parser.parse_args()
 
@@ -110,6 +113,7 @@ def main() -> int:
     if args.tiny:
         env["LOBSTER_SCALEOUT_TINY"] = "1"
         env["LOBSTER_SERVE_TINY"] = "1"
+        env["LOBSTER_STREAM_TINY"] = "1"
 
     rows: list[tuple[str, str, str, int]] = []
     all_ok = True

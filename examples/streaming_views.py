@@ -1,0 +1,75 @@
+"""Streaming incremental view maintenance: live reachability over a
+changing graph.
+
+A standing single-source reachability query stays continuously correct
+while a sliding window of "sensor link" edges churns around a stable
+backbone: window expiry *retracts* facts, and the engine's DRed-style
+maintain path (over-delete, re-derive, propagate) updates the view in
+place instead of recomputing — a subscription streams the per-tick
+result deltas.
+
+Run:  PYTHONPATH=src python examples/streaming_views.py
+"""
+
+from repro import (
+    DevicePool,
+    LobsterEngine,
+    MaterializedView,
+    SlidingWindow,
+    StreamScheduler,
+)
+from repro.serve import MetricsRegistry
+from repro.stream import RelationStream
+
+PROGRAM = """
+rel reach(y) :- source(y) or (reach(x) and edge(x, y)).
+query reach
+"""
+
+# A stable backbone chain 0 -> 1 -> ... -> 30, with churning "sensor
+# link" edges hanging off it (node i observes sensor 100+i).
+backbone = [(i, i + 1) for i in range(30)]
+sensor_links = [(i, 100 + i) for i in range(30)]
+
+engine = LobsterEngine(PROGRAM)
+database = engine.create_database()
+database.add_facts("source", [(0,)])
+database.add_facts("edge", backbone)
+engine.run(database)
+
+view = MaterializedView(engine, database=database, name="reach")
+subscription = view.subscribe()
+
+# Each tick, two sensor links arrive; links older than 6 ticks expire
+# (the window emits retractions for them automatically).
+window = SlidingWindow(RelationStream("edge", sensor_links, 2, seed=7), size=6)
+
+# Maintenance ticks run on the serve clock through a device pool — the
+# same pool and metrics registry a request scheduler would share.
+scheduler = StreamScheduler(
+    pool=DevicePool(1, policy="least-loaded"), metrics=MetricsRegistry()
+)
+scheduler.register(view, window, period_s=1e-3)
+report = scheduler.run(16)
+
+print(f"applied {report.ticks} ticks in {report.passes} maintain passes")
+print(f"maintained in place: {report.maintained_fraction:.0%} of passes")
+print(f"serve-clock makespan: {report.makespan_s * 1e3:.3f}ms simulated")
+
+reachable_sensors = sorted(
+    node for (node,) in view.result("reach") if node >= 100
+)
+print(f"live view: {len(view.result('reach'))} reachable nodes, "
+      f"{len(reachable_sensors)} of them sensors")
+
+# The subscription saw every tick's delta; replaying them from tick 0
+# reconstructs the live view exactly (the conservation law).
+deltas = subscription.poll()
+changes = sum(delta.change_count() for delta in deltas)
+assert subscription.replay()["reach"] == view.result("reach")
+print(f"subscription: {len(deltas)} deltas, {changes} row changes, "
+      "replay reconstructs the view exactly")
+
+histogram = scheduler.metrics.histogram("stream.maintain_latency_s.reach")
+print(f"per-tick maintain latency: p50 {histogram.p50 * 1e6:.0f}us "
+      f"p99 {histogram.p99 * 1e6:.0f}us over {histogram.count} ticks")

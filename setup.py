@@ -31,7 +31,9 @@ setup(
     description=(
         "Reproduction of Lobster (ASPLOS 2026): a GPU-accelerated "
         "framework for neurosymbolic programming, with a compile-once "
-        "serving layer (program cache, incremental evaluation, sessions)"
+        "serving layer, sharded execution, an online serving front-end, "
+        "and streaming incremental view maintenance (retractions, "
+        "windows, live subscriptions)"
     ),
     long_description=read_long_description(),
     long_description_content_type="text/markdown",

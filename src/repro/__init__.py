@@ -13,6 +13,11 @@ Public API highlights:
 * :mod:`repro.serve` — the online serving front-end: SLO-classed
   requests, admission control, micro-batching scheduler over a device
   pool, Poisson/bursty load generation, and the metrics registry.
+* :mod:`repro.stream` — streaming incremental view maintenance:
+  replayable sources, tumbling/sliding windows emitting retractions,
+  :class:`repro.MaterializedView`\\ s kept continuously correct through
+  the engine's DRed-style maintain path, live subscriptions, and the
+  :class:`repro.StreamScheduler` tick path on the serve clock.
 * :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
   content-addressed compile-once cache behind every engine construction.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
@@ -30,7 +35,9 @@ from .errors import (
     LobsterError,
     ParseError,
     ResolutionError,
+    RetractionUnsupportedError,
     SessionError,
+    StaleViewError,
     StratificationError,
     TicketNotRunError,
     UnknownTicketError,
@@ -55,9 +62,20 @@ from .serve import (
     Scheduler,
     ServeReport,
     SLOClass,
+    StreamReport,
+    StreamScheduler,
+)
+from .stream import (
+    MaterializedView,
+    RelationStream,
+    SlidingWindow,
+    Subscription,
+    TickDelta,
+    TumblingWindow,
+    ViewDelta,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "AdmissionController",
@@ -82,15 +100,26 @@ __all__ = [
     "LobsterEngine",
     "LobsterError",
     "LobsterSession",
+    "MaterializedView",
     "OptimizationConfig",
     "ParseError",
     "ProgramCache",
+    "RelationStream",
     "ResolutionError",
+    "RetractionUnsupportedError",
     "SessionError",
     "SessionReport",
+    "SlidingWindow",
+    "StaleViewError",
     "StratificationError",
+    "StreamReport",
+    "StreamScheduler",
+    "Subscription",
+    "TickDelta",
     "TicketNotRunError",
+    "TumblingWindow",
     "UnknownTicketError",
+    "ViewDelta",
     "VirtualDevice",
     "__version__",
     "default_cache",

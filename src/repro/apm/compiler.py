@@ -22,7 +22,12 @@ from . import instructions as I
 from ..errors import CompileError
 from ..ram import exprs as E
 from ..ram import ir
-from ..ram.ir import output_dtypes, replace_scan_partition, scans_of
+from ..ram.ir import (
+    column_origins,
+    output_dtypes,
+    replace_scan_partition,
+    scans_of,
+)
 
 
 @dataclass
@@ -33,6 +38,11 @@ class Variant:
     result: I.Pack
     #: Index of the scan loading RECENT, or None for the all-full variant.
     recent_scan: int | None
+    #: ``(predicate, partition)`` of the variant's frontier scan (the one
+    #: atom loading RECENT or DELTA), or None for the all-full variant.
+    #: The DRed over-delete loop keys on this to execute only variants
+    #: whose frontier relation actually gained doomed rows.
+    frontier: tuple[str, str] | None = None
 
 
 @dataclass
@@ -47,6 +57,16 @@ class CompiledRule:
     #: the Δ(A ⋈ B) = ΔA ⋈ B ∪ A ⋈ ΔB expansion over non-recursive atoms
     #: (recursive atoms are already covered by the RECENT variants).
     delta_variants: list[Variant] = field(default_factory=list)
+    #: All-FULL variant for DRed re-derivation (None under negation).
+    #: For flat rules this aliases ``variants[0]``; recursive rules get
+    #: an extra compile, since their normal variants all scan RECENT.
+    rederive_variant: Variant | None = None
+    #: ``scan_index -> [(scan_column, head_column), ...]``: which leaf
+    #: columns copy into which head columns (from
+    #: :func:`~repro.ram.ir.column_origins`).  Re-derivation pushes the
+    #: doomed-head restriction down to each leaf as per-column value
+    #: semijoins against the removed rows' projections.
+    rederive_filters: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
 
 
 @dataclass
@@ -134,12 +154,32 @@ class ApmCompiler:
                     for scan_index in range(len(scans_of(rule.expr)))
                     if scan_index not in recursive
                 ] if not has_negation else []
+                rederive_variant = None
+                rederive_filters: dict[int, list[tuple[int, int]]] = {}
+                if not has_negation:
+                    rederive_variant = (
+                        variants[0]
+                        if not rule.recursive_atoms
+                        else self._compile_variant(
+                            rule.expr, rule.target, pred_set,
+                            key=f"s{stratum_index}r{rule_index}f",
+                            recent_scan=None,
+                        )
+                    )
+                    origins = column_origins(rule.expr, self.ram.schemas)
+                    for head_col, sources in enumerate(origins):
+                        for scan_index, scan_col in sources:
+                            rederive_filters.setdefault(scan_index, []).append(
+                                (scan_col, head_col)
+                            )
                 rules.append(
                     CompiledRule(
                         rule.target,
                         variants,
                         edb_only=not rule.recursive_atoms,
                         delta_variants=delta_variants,
+                        rederive_variant=rederive_variant,
+                        rederive_filters=rederive_filters,
                     )
                 )
             strata.append(
@@ -162,7 +202,15 @@ class ApmCompiler:
         instrs: list[I.Instruction] = []
         pack = self._compile_expr(expr, instrs, stratum_preds, key)
         instrs.append(I.StoreDelta(target, pack))
-        return Variant(instrs, pack, recent_scan)
+        frontier = next(
+            (
+                (scan.predicate, scan.partition)
+                for scan in scans_of(expr)
+                if scan.partition in (I.RECENT, I.DELTA)
+            ),
+            None,
+        )
+        return Variant(instrs, pack, recent_scan, frontier)
 
     def _reg(self, hint: str) -> str:
         self._fresh += 1

@@ -35,9 +35,21 @@ from ..gpu import bytecode
 from ..gpu.device import ALLOC_LATENCY_S, VirtualDevice
 from ..gpu.hash_table import HashIndex
 from ..runtime.database import Database
+from ..runtime.relation import RowLocator
 from ..runtime.table import Table
 
 DEFAULT_MAX_ITERATIONS = 100_000
+
+
+def scans_of_variant(variant: Variant) -> list[str]:
+    """Predicates of a variant's Load instructions, in order.  For an
+    unoptimized variant this is the RAM ``scans_of`` order, which is
+    what aligns ``rederive_filters``' scan indices with Load positions."""
+    return [
+        instruction.predicate
+        for instruction in variant.instructions
+        if isinstance(instruction, I.Load)
+    ]
 
 
 class ApmInterpreter:
@@ -90,6 +102,273 @@ class ApmInterpreter:
             self._charge_transfers(
                 transfers.get(index, ()), database, to_device=False
             )
+
+    def maintain(self, program: ApmProgram, database: Database) -> None:
+        """DRed-style maintenance: keep ``database``'s fix point correct
+        under staged retractions (plus any pending insertions).
+
+        Three phases, each reusing the normal execution machinery:
+
+        1. **over-delete** — propagate dooms from the retracted rows
+           through every rule (the compiled DELTA/RECENT variants with
+           the frontier masks repurposed as doom frontiers), against the
+           *pre-retraction* state, to a fix point: anything with at least
+           one derivation touching a doomed row is doomed;
+        2. **remove + re-stage** — doomed rows leave their relations;
+           surviving input-fact instances whose rows were doomed are
+           re-staged (:meth:`Database.apply_retractions`), and pending
+           insertions fold in through the usual finalize;
+        3. **re-derive + propagate** — per touched stratum, in order:
+           first the head-restricted re-derivation step recovers removed
+           rows still derivable from all-untouched survivors (each rule
+           whose head relation lost rows executes over leaf scans
+           semijoin-filtered by the removed rows' column projections,
+           outputs post-filtered to exactly the removed set), then the
+           stratum's semi-naive loop runs *delta-seeded* from everything
+           that changed since the pass began — restaged inputs, pending
+           insertions, and the re-derived rows.  Surviving rows are
+           exactly correct already (any derivation through a doomed row
+           would have doomed them), so nothing else needs revisiting,
+           and untouched strata are skipped outright.
+
+        Callers are responsible for eligibility (idempotent ⊕, no
+        negation): non-idempotent ⊕ would double-count re-derived
+        alternatives, and a retraction can *add* conclusions under
+        negation, which over-delete/re-derive cannot express.
+        """
+        seeds = database.retraction_seeds()
+        doomed = self._over_delete(program, database, seeds)
+        affected = set(seeds)
+        affected.update(name for name, mask in doomed.items() if mask.any())
+        database.begin_delta_tracking()
+        removed = database.apply_retractions(doomed)
+        database.finalize()
+        for name, rel in database.relations.items():
+            if rel.n_changed():
+                affected.add(name)
+        transfers = cached_plan(program, self.enable_stratum_scheduling)
+        for index, stratum in enumerate(program.strata):
+            touched = affected & (
+                self._stratum_reads(stratum) | set(stratum.predicates)
+            )
+            if not touched:
+                continue
+            self._charge_transfers(transfers.get(index, ()), database, to_device=True)
+            self.begin_stratum()
+            self._rederive(stratum, database, program, removed)
+            self._run_stratum(stratum, database, program, incremental=True)
+            self._charge_transfers(
+                transfers.get(index, ()), database, to_device=False
+            )
+            for predicate in stratum.predicates:
+                if database.relation(predicate).n_changed():
+                    affected.add(predicate)
+
+    def _rederive(
+        self,
+        stratum: CompiledStratum,
+        database: Database,
+        program: ApmProgram,
+        removed: dict[str, Table],
+    ) -> None:
+        """The DRed re-derive step: recover removed rows that are still
+        one-step derivable from the surviving (post-removal) state.
+
+        The delta-seeded loop that follows only fires rule instances
+        touching a changed row, so it would miss a removed fact whose
+        surviving derivation uses exclusively untouched facts — this
+        step finds exactly those.  Each rule with removed head rows
+        executes its all-FULL variant with every leaf scan pre-filtered
+        by a per-column semijoin against the removed rows' projections
+        (sound: an instance producing a removed head must draw the
+        head-mapped columns from those value sets), and the outputs are
+        post-filtered to exactly the removed rows.  Deeper re-derivations
+        chain through the semi-naive tail as the recovered rows enter
+        the frontier.
+        """
+        provenance = database.provenance
+        deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
+        locators: dict[str, RowLocator] = {}
+        any_rederived = False
+        for rule in stratum.rules:
+            removed_head = removed.get(rule.target)
+            if (
+                removed_head is None
+                or removed_head.n_rows == 0
+                or rule.rederive_variant is None
+            ):
+                continue
+            locator = locators.get(rule.target)
+            if locator is None:
+                locator = locators[rule.target] = RowLocator(removed_head)
+            load_tables: list[Table | None] = []
+            for scan_index, scan in enumerate(scans_of_variant(rule.rederive_variant)):
+                mapped = rule.rederive_filters.get(scan_index)
+                if not mapped:
+                    load_tables.append(None)
+                    continue
+                table = database.relation(scan).snapshot(I.FULL)
+                keep = np.ones(table.n_rows, dtype=bool)
+                for scan_col, head_col in mapped:
+                    keep &= np.isin(
+                        table.columns[scan_col],
+                        removed_head.columns[head_col],
+                    )
+                filtered = table.take(np.flatnonzero(keep))
+                # The semijoin is a real kernel: charge its output.
+                self.device.record_kernel(filtered.n_rows)
+                load_tables.append(filtered)
+            before = deltas[rule.target]
+            staged: dict[str, list[Table]] = {rule.target: []}
+            self._execute_variant(
+                rule.rederive_variant, database, staged, iteration=1,
+                load_tables=load_tables,
+            )
+            for table in staged[rule.target]:
+                hit = locator.contains(table.columns, n_query=table.n_rows)
+                if hit.any():
+                    before.append(table.take(np.flatnonzero(hit)))
+                    any_rederived = True
+        # Builds over semijoin-filtered tables must never serve later
+        # iterations as "static" indices — they are data-dependent.
+        self.device.clear_statics()
+        if not any_rederived:
+            return
+        for predicate in stratum.predicates:
+            tables = deltas[predicate]
+            if not tables:
+                continue
+            delta = Table.concat(tables, program.schemas[predicate], provenance)
+            # advance() marks recovered rows recent/changed, so the
+            # delta-seeded loop picks them up as frontier.
+            database.relation(predicate).advance(delta)
+
+    @staticmethod
+    def _stratum_reads(stratum: CompiledStratum) -> set[str]:
+        """Every predicate any of the stratum's variants loads."""
+        return {
+            instruction.predicate
+            for rule in stratum.rules
+            for variant in rule.variants + rule.delta_variants
+            for instruction in variant.instructions
+            if isinstance(instruction, I.Load)
+        }
+
+    def _over_delete(
+        self,
+        program: ApmProgram,
+        database: Database,
+        seeds: dict[str, list[tuple]],
+    ) -> dict[str, np.ndarray]:
+        """Doom propagation: boolean masks (over each relation's ``full``
+        rows) of everything with a derivation through a retracted row.
+
+        Runs against the pre-retraction state — nothing is removed here,
+        so side atoms scan the original relations (the classic DRed
+        over-approximation) and per-relation row locators stay valid for
+        the whole pass.  Only variants whose frontier predicate gained
+        doomed rows execute, so a quiescent iteration costs nothing."""
+        provenance = database.provenance
+        doomed: dict[str, np.ndarray] = {}
+        newly: dict[str, np.ndarray] = {}
+        locators: dict[str, object] = {}
+
+        def locator(name: str):
+            found = locators.get(name)
+            if found is None:
+                found = locators[name] = database.relation(name).locator()
+            return found
+
+        for name, rows in seeds.items():
+            rel = database.relation(name)
+            if rel.full.n_rows == 0 or not rows:
+                continue
+            columns = [
+                np.array([row[j] for row in rows], dtype=dt)
+                for j, dt in enumerate(rel.dtypes)
+            ]
+            mask = locator(name).member_mask(columns)
+            if mask.any():
+                doomed[name] = mask.copy()
+                newly[name] = mask
+
+        self.begin_stratum()
+        all_preds = [p for stratum in program.strata for p in stratum.predicates]
+        iteration = 0
+        previous_frontier: set[str] = set()
+        while newly:
+            iteration += 1
+            self.iterations_run += 1
+            if iteration > self.max_iterations:
+                raise ExecutionError(
+                    f"over-delete exceeded {self.max_iterations} iterations "
+                    "without saturating"
+                )
+            # Expose the doom frontier through the semi-naive masks: the
+            # compiled DELTA/RECENT variants then enumerate exactly the
+            # rule instances touching a newly doomed row.  Only last
+            # iteration's frontier relations need re-zeroing — variants
+            # are executed only when their frontier relation is in
+            # ``newly``, so other relations' masks are never read here
+            # (and everything is reset once the loop ends).
+            for name in previous_frontier - set(newly):
+                rel = database.relation(name)
+                rel.recent_mask = np.zeros(rel.full.n_rows, dtype=bool)
+                rel.changed_mask = rel.recent_mask
+            for name, frontier in newly.items():
+                rel = database.relation(name)
+                rel.recent_mask = frontier
+                rel.changed_mask = frontier
+            previous_frontier = set(newly)
+            deltas: dict[str, list[Table]] = {p: [] for p in all_preds}
+            for stratum in program.strata:
+                for rule in stratum.rules:
+                    for variant in rule.delta_variants:
+                        if self._frontier_live(variant, newly):
+                            # iteration + 1 > 1 keeps static hash indices
+                            # warm: FULL relations never change mid-pass.
+                            self._execute_variant(
+                                variant, database, deltas, iteration + 1
+                            )
+                    if rule.edb_only:
+                        continue
+                    for variant in rule.variants:
+                        if self._frontier_live(variant, newly):
+                            self._execute_variant(
+                                variant, database, deltas, iteration + 1
+                            )
+            newly = {}
+            for predicate, tables in deltas.items():
+                if not tables:
+                    continue
+                rel = database.relation(predicate)
+                if rel.full.n_rows == 0:
+                    continue
+                table = Table.concat(
+                    tables, program.schemas[predicate], provenance
+                )
+                if table.n_rows == 0:
+                    continue
+                hit = locator(predicate).member_mask(table.columns)
+                prior = doomed.setdefault(
+                    predicate, np.zeros(rel.full.n_rows, dtype=bool)
+                )
+                fresh = hit & ~prior
+                if fresh.any():
+                    prior |= fresh
+                    newly[predicate] = fresh
+        # Leave no stale frontier behind for the re-derive phase.
+        for rel in database.relations.values():
+            rel.clear_recent()
+            rel.changed_mask = np.zeros(rel.full.n_rows, dtype=bool)
+        return doomed
+
+    @staticmethod
+    def _frontier_live(variant: Variant, newly: dict[str, np.ndarray]) -> bool:
+        if variant.frontier is None:
+            return False
+        frontier = newly.get(variant.frontier[0])
+        return frontier is not None and bool(frontier.any())
 
     def begin_stratum(self) -> None:
         """The per-stratum reset protocol, shared with the sharded
@@ -177,10 +456,18 @@ class ApmInterpreter:
         database: Database,
         deltas: dict[str, list[Table]],
         iteration: int,
+        load_tables: list[Table | None] | None = None,
     ) -> None:
+        """``load_tables``, when given, substitutes the k-th Load
+        instruction's table (None entries fall through to the database
+        partition) — the DRed re-derive step uses this to execute a
+        rule over semijoin-filtered leaf scans.  Entries are consumed in
+        Load order, which for an unoptimized variant is the RAM
+        ``scans_of`` order."""
         registers: dict[str, np.ndarray] = {}
         provenance = database.provenance
         profile = self.device.profile
+        load_index = 0
 
         def put(name: str, array: np.ndarray, charge: bool = True) -> None:
             registers[name] = array
@@ -203,9 +490,14 @@ class ApmInterpreter:
             profile.record_instruction(type(instruction).__name__)
 
             if isinstance(instruction, I.Load):
-                table = database.relation(instruction.predicate).snapshot(
-                    instruction.partition
-                )
+                table = None
+                if load_tables is not None and load_index < len(load_tables):
+                    table = load_tables[load_index]
+                load_index += 1
+                if table is None:
+                    table = database.relation(instruction.predicate).snapshot(
+                        instruction.partition
+                    )
                 for reg, column in zip(instruction.dst.cols, table.columns):
                     put(reg, column, charge=False)
                 put(instruction.dst.tags, table.tags, charge=False)

@@ -27,13 +27,19 @@ def optimize(program: ApmProgram) -> ApmProgram:
                 rule.variants[index] = _optimize_variant(variant)
             for index, variant in enumerate(rule.delta_variants):
                 rule.delta_variants[index] = _optimize_variant(variant)
+            # rule.rederive_variant is deliberately left unoptimized: the
+            # maintain path substitutes filtered tables by Load position,
+            # which must stay aligned with the RAM scans_of order — DCE
+            # may drop a Load whose columns are all projected away.
     return program
 
 
 def _optimize_variant(variant: Variant) -> Variant:
     instructions = _fuse_projections(list(variant.instructions))
     instructions = _eliminate_dead(instructions)
-    return Variant(instructions, variant.result, variant.recent_scan)
+    return Variant(
+        instructions, variant.result, variant.recent_scan, variant.frontier
+    )
 
 
 def _fuse_projections(instructions: list[I.Instruction]) -> list[I.Instruction]:

@@ -42,7 +42,7 @@ from .partition import HashPartitioner
 from ..apm.compiler import ApmProgram, CompiledStratum
 from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
 from ..apm.schedule import cached_plan
-from ..errors import ExecutionError, LobsterError
+from ..errors import ExecutionError, LobsterError, RetractionUnsupportedError
 from ..gpu.device import VirtualDevice
 from ..provenance.base import Provenance
 from ..runtime.database import Database
@@ -118,6 +118,15 @@ class ShardedExecutor:
             raise LobsterError(
                 "sharded execution does not support negation (owner-merge "
                 "over partial frontiers cannot retract); run single-device"
+            )
+        if database.has_pending_retractions:
+            # The engine applies retractions before dispatching here (the
+            # documented fallback: retractions edit the fact log, then the
+            # query reruns cold across the shards — doom frontiers are
+            # never routed through the exchange path).
+            raise RetractionUnsupportedError(
+                "sharded execution received staged retractions; apply them "
+                "via Database.rebuild() (LobsterEngine.run does this) first"
             )
         database.finalize()
         views = self._make_views(program, database)

@@ -58,6 +58,38 @@ class ProvenanceError(LobsterError):
     """Raised on invalid tag operations (e.g. proof capacity overflow)."""
 
 
+class RetractionUnsupportedError(LobsterError):
+    """Raised when DRed-style maintain was explicitly requested
+    (``engine.run(db, maintain=True)``) but the program or provenance
+    cannot support it.
+
+    The engine's automatic path never raises this: it records the same
+    ``reason`` on :attr:`ExecutionResult.maintain_fallback` and falls
+    back to a checkpointed recompute (retractions applied to the input
+    fact log, then a cold rerun) — slower, never wrong.  The two
+    fallback classes are stratified negation (a retraction can *add*
+    negated conclusions, which over-delete/re-derive does not model)
+    and a non-idempotent ⊕ (re-derivation from warm state would
+    double-count alternatives, e.g. ``addmultprob``'s sum).
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"retraction maintain unsupported: {reason}")
+
+
+class StaleViewError(LobsterError):
+    """Raised when a materialized view (or one of its subscriptions) can
+    no longer reconcile its state.
+
+    Two cases: the view's database was evaluated or mutated outside the
+    view's tick path (the view's retained result no longer corresponds
+    to the database — call :meth:`MaterializedView.refresh`), or a
+    subscription's cursor points at tick history the view has already
+    pruned (re-subscribe, or raise the view's ``max_history``).
+    """
+
+
 class SessionError(LobsterError):
     """Raised on invalid session ticket operations."""
 

@@ -125,6 +125,72 @@ def output_dtypes(
     raise TypeError(f"unexpected RAM node {expr!r}")
 
 
+def column_origins(
+    expr: RamExpr, schemas: dict[str, tuple[np.dtype, ...]]
+) -> list[set[tuple[int, int]]]:
+    """Per output column, the ``(scan_index, scan_column)`` leaves whose
+    values it copies (scan indices in :func:`scans_of` order).
+
+    Join keys equate columns, so an output column can originate from
+    leaves on both sides; a computed :class:`~repro.ram.exprs` projection
+    originates from no leaf (empty set).  This is the column-provenance
+    map DRed re-derivation uses to push a doomed-head restriction down
+    into each leaf scan as a per-column semijoin filter: any rule
+    instance whose head lands in the doomed set must draw these columns'
+    values from the doomed rows' projections, so filtering the leaves by
+    those value sets is a sound (over-approximating) restriction.
+    """
+    from . import exprs as E
+
+    counter = [0]
+
+    def walk(node: RamExpr) -> list[set[tuple[int, int]]]:
+        if isinstance(node, Scan):
+            index = counter[0]
+            counter[0] += 1
+            return [{(index, j)} for j in range(len(schemas[node.predicate]))]
+        if isinstance(node, Select):
+            return walk(node.source)
+        if isinstance(node, Project):
+            source = walk(node.source)
+            return [
+                set(source[e.index]) if isinstance(e, E.Col) else set()
+                for e in node.exprs
+            ]
+        if isinstance(node, Join):
+            left = walk(node.left)
+            right = walk(node.right)
+            out = [
+                set(col) | (right[j] if j < node.width else set())
+                for j, col in enumerate(left)
+            ]
+            return out + right[node.width :]
+        if isinstance(node, Antijoin):
+            left = walk(node.left)
+            walk(node.right)  # consume the right subtree's scan indices
+            return left
+        if isinstance(node, Product):
+            return walk(node.left) + walk(node.right)
+        if isinstance(node, Intersect):
+            left = walk(node.left)
+            right = walk(node.right)
+            return [set(col) | right[j] for j, col in enumerate(left)]
+        if isinstance(node, Union):
+            # The planner splits unions into separate rules before this
+            # runs, but keep parity with the sibling walkers.  Each scan
+            # leaf belongs to exactly one branch, and a branch's rows
+            # draw only on its own scans, so every branch's origin pairs
+            # are independently valid — take their union.
+            items = [walk(item) for item in node.items]
+            return [
+                set().union(*(item[j] for item in items))
+                for j in range(len(items[0]))
+            ]
+        raise TypeError(f"unexpected RAM node {node!r}")
+
+    return walk(expr)
+
+
 def scans_of(expr: RamExpr) -> list[Scan]:
     """All Scan leaves of an expression, left to right."""
     if isinstance(expr, Scan):

@@ -15,6 +15,18 @@ recomputing the full fix point.  When incremental evaluation is unsound
 for the program or provenance, :meth:`rebuild` replays every fact ever
 added through a fresh cold load — re-running then matches a from-scratch
 evaluation by construction.
+
+Deltas are *signed*: :meth:`retract_facts` stages the removal of input
+facts the same way :meth:`add_facts` stages additions.  The engine's
+maintain path consumes the staged retractions through
+:meth:`retraction_seeds` / :meth:`apply_retractions` (the DRed
+over-delete/re-derive protocol); the fallback path simply drops the
+retracted instances from the input-fact log and rebuilds, so a cold
+rerun evaluates exactly the surviving multiset.  Fact ids are *never*
+reused: a retracted probabilistic fact keeps its slot in the
+probability/group arrays (its gradient just stops receiving mass), so
+ids handed to the neural bridge stay stable across any mix of inserts
+and retractions.
 """
 
 from __future__ import annotations
@@ -38,6 +50,14 @@ class Database:
         self._pending: dict[str, tuple[list[tuple], list[int]]] = {}
         #: Every fact already loaded, kept for cold rebuilds.
         self._loaded: dict[str, tuple[list[tuple], list[int]]] = {}
+        #: Rows staged for retraction against the loaded facts (this
+        #: round); consumed by the engine's maintain path or by
+        #: :meth:`discard_retractions` on the rebuild fallback.
+        self._retractions: dict[str, list[tuple]] = {}
+        #: Bumped on every mutation (add/retract/rebuild) so long-lived
+        #: observers (e.g. a MaterializedView) can detect out-of-band
+        #: writes and fail with StaleViewError instead of drifting.
+        self.version = 0
         self._probs: list[float] = []
         self._groups: list[int] = []
         self._next_group = 0
@@ -58,6 +78,11 @@ class Database:
     def has_pending_facts(self) -> bool:
         """Whether facts were added since the last :meth:`finalize`."""
         return any(rows for rows, _ in self._pending.values())
+
+    @property
+    def has_pending_retractions(self) -> bool:
+        """Whether retractions were staged since the last run."""
+        return any(self._retractions.values())
 
     def relation(self, name: str) -> StoredRelation:
         rel = self.relations.get(name)
@@ -100,6 +125,7 @@ class Database:
         """
         if name not in self.schemas:
             self.schemas[name] = self._infer_schema(rows)
+        self.version += 1
         pending_rows, pending_ids = self._pending.setdefault(name, ([], []))
         if probs is None:
             ids = np.full(len(rows), -1, dtype=np.int64)
@@ -165,6 +191,126 @@ class Database:
         self._finalized = True
 
     # ------------------------------------------------------------------
+    # Retraction support (signed deltas)
+
+    def retract_facts(self, name: str, rows: list[tuple]) -> int:
+        """Stage the removal of input facts: every instance of each given
+        row — pending or already loaded, discrete or probabilistic — is
+        withdrawn at the next engine run, exactly as if it had never been
+        added (a cold evaluation of the surviving facts is the semantic
+        reference).  Rows with no matching instance are ignored: they
+        contribute nothing either way, so the equivalence holds trivially.
+
+        Returns the number of fact instances the retraction matched.
+        Fact ids are never reused; a retracted probabilistic fact keeps
+        its probability-array slot and simply stops receiving gradient.
+        """
+        if name not in self.schemas:
+            raise ResolutionError(f"unknown relation {name!r}")
+        self.version += 1
+        row_set = {tuple(row) for row in rows}
+        matched = 0
+        # Pending inserts die immediately: add-then-retract in one round
+        # means the fact never existed.
+        pending = self._pending.get(name)
+        if pending and pending[0]:
+            kept = [
+                (row, fid)
+                for row, fid in zip(*pending)
+                if row not in row_set
+            ]
+            matched += len(pending[0]) - len(kept)
+            self._pending[name] = (
+                [row for row, _ in kept],
+                [fid for _, fid in kept],
+            )
+        # Loaded instances are withdrawn at the next run (maintain or
+        # rebuild); stage the rows that actually match something.
+        loaded = self._loaded.get(name)
+        if loaded:
+            loaded_hits = sum(1 for row in loaded[0] if row in row_set)
+            if loaded_hits:
+                matched += loaded_hits
+                loaded_set = set(loaded[0])
+                staged = self._retractions.setdefault(name, [])
+                staged_set = set(staged)
+                staged.extend(
+                    sorted(row_set & loaded_set - staged_set)
+                )
+        return matched
+
+    def retraction_seeds(self) -> dict[str, list[tuple]]:
+        """Staged retracted rows per relation — the over-delete seeds."""
+        return {
+            name: list(rows)
+            for name, rows in self._retractions.items()
+            if rows
+        }
+
+    def discard_retractions(self) -> None:
+        """Apply staged retractions to the input-fact log only (drop the
+        matching ``_loaded`` instances).  Used by the rebuild fallback —
+        a subsequent cold reload then evaluates exactly the surviving
+        facts — and by :meth:`apply_retractions` after over-delete."""
+        for name, rows in self._retractions.items():
+            if not rows:
+                continue
+            loaded = self._loaded.get(name)
+            if not loaded:
+                continue
+            row_set = set(rows)
+            kept = [
+                (row, fid) for row, fid in zip(*loaded) if row not in row_set
+            ]
+            self._loaded[name] = (
+                [row for row, _ in kept],
+                [fid for _, fid in kept],
+            )
+        self._retractions = {}
+
+    def apply_retractions(self, doomed: dict[str, np.ndarray]) -> dict[str, Table]:
+        """The removal + re-insertion half of a DRed maintain pass.
+
+        ``doomed`` maps relation names to boolean masks over their
+        ``full`` rows (retracted seeds plus everything transitively
+        derivable from them, as computed by the interpreter's
+        over-delete).  This method removes the doomed rows, drops the
+        retracted instances from the input-fact log, and re-stages every
+        *surviving* input-fact instance whose row was doomed — the next
+        :meth:`finalize` folds those back in with their original tags and
+        ids, and the re-derive phase recovers the derived facts.
+
+        Returns the removed rows per relation (sorted tables, old tags)
+        — the re-derive phase's head restriction.
+        """
+        removed: dict[str, Table] = {}
+        doomed_rows: dict[str, set[tuple]] = {}
+        for name, mask in doomed.items():
+            if not mask.any():
+                continue
+            rel = self.relations[name]
+            removed[name] = rel.remove_rows(mask)
+            doomed_rows[name] = set(removed[name].rows())
+        self.discard_retractions()
+        for name, rows in doomed_rows.items():
+            loaded = self._loaded.get(name)
+            if not loaded or not loaded[0]:
+                continue
+            kept: list[tuple[tuple, int]] = []
+            restage: list[tuple[tuple, int]] = []
+            for row, fid in zip(*loaded):
+                (restage if row in rows else kept).append((row, fid))
+            if restage:
+                self._loaded[name] = (
+                    [row for row, _ in kept],
+                    [fid for _, fid in kept],
+                )
+                p_rows, p_ids = self._pending.setdefault(name, ([], []))
+                p_rows.extend(row for row, _ in restage)
+                p_ids.extend(fid for _, fid in restage)
+        return removed
+
+    # ------------------------------------------------------------------
     # Incremental-evaluation support
 
     def begin_delta_tracking(self) -> None:
@@ -177,7 +323,11 @@ class Database:
         """Drop all derived state and stage every fact ever added for a
         cold reload (the sound fallback when incremental re-evaluation is
         unavailable).  Fact ids, probabilities, and exclusion groups are
-        preserved, so gradients and returned ids remain meaningful."""
+        preserved, so gradients and returned ids remain meaningful.
+        Staged retractions are applied to the fact log first, so the
+        reload stages exactly the surviving facts."""
+        self.discard_retractions()
+        self.version += 1
         merged: dict[str, tuple[list[tuple], list[int]]] = {}
         for name, (rows, ids) in self._loaded.items():
             merged[name] = (list(rows), list(ids))

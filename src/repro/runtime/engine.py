@@ -17,7 +17,12 @@ Engines are also **incremental**: adding facts to an already-evaluated
 database marks them as a delta, and the next :meth:`LobsterEngine.run`
 seeds the semi-naive frontier from those deltas instead of recomputing
 the full fix point (falling back to an automatic from-scratch rerun when
-the program or provenance makes delta-seeding unsound).
+the program or provenance makes delta-seeding unsound).  Deltas are
+*signed*: :meth:`Database.retract_facts` stages deletions, which the
+next run applies through a DRed-style maintain pass (over-delete,
+head-restricted re-derive, delta-seeded propagate) — or, for negation,
+non-idempotent ⊕, or sharded engines, through a checkpointed recompute
+of the surviving facts.  Either way results match a cold evaluation.
 
 Example
 -------
@@ -50,7 +55,7 @@ from .cache import (
 from .database import Database
 from ..apm.compiler import ApmProgram
 from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
-from ..errors import LobsterError
+from ..errors import LobsterError, RetractionUnsupportedError
 from ..gpu.device import DeviceProfile, VirtualDevice
 from ..provenance import registry
 from ..provenance.base import Provenance
@@ -92,6 +97,13 @@ class ExecutionResult:
     #: Whether this run was delta-seeded (incremental) rather than a full
     #: fix-point computation.
     incremental: bool = False
+    #: Whether this run was a DRed-style maintain pass (over-delete,
+    #: re-derive, propagate) applying staged retractions in place.
+    maintained: bool = False
+    #: Why a run with staged retractions fell back to the checkpointed
+    #: recompute (retractions applied to the fact log + cold rerun)
+    #: instead of maintaining in place; None when no fallback happened.
+    maintain_fallback: str | None = None
     #: Number of device shards this run actually executed on (1 when the
     #: engine is single-device or fell back, e.g. for negation).
     shards: int = 1
@@ -134,6 +146,8 @@ class ExecutionResult:
             "cached" if self.program_from_cache else f"{self.compile_seconds:.6f}s"
         )
         mode = ", incremental" if self.incremental else ""
+        if self.maintained:
+            mode += ", maintained"
         if self.shards > 1:
             mode += f", shards={self.shards}"
         return (
@@ -251,6 +265,17 @@ class LobsterEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def program_key(self) -> str:
+        """The execution-compatibility key: work items coalesce onto one
+        warm session iff they share the compiled program (the
+        ProgramCache identity — source, provenance, optimization flags)
+        *and* the same ``max_iterations``, the one engine setting that
+        changes execution semantics without changing the artifact.  Used
+        by the serving scheduler's micro-batch groups and the stream
+        scheduler's per-program sessions."""
+        return f"{self.compiled.key}:{self.max_iterations}"
+
     def create_database(self) -> Database:
         """A fresh database with this program's schemas and a fresh
         provenance instance (tags reference per-run input facts)."""
@@ -301,6 +326,41 @@ class LobsterEngine:
             and not self._use_sharded()
         )
 
+    def supports_maintain(self, database: Database) -> tuple[bool, str | None]:
+        """Whether a DRed-style maintain pass of ``database`` is sound;
+        returns ``(ok, reason)`` where ``reason`` names the blocking
+        property when it is not.
+
+        Maintenance shares incremental evaluation's two preconditions —
+        an idempotent ⊕ (re-derivation must be absorbed, not summed) and
+        a negation-free program (a retraction can *add* negated
+        conclusions, which over-delete/re-derive cannot express) — and
+        like the insert-only warm path it is single-device: a sharded
+        engine's replicated closure does not track the per-shard masks
+        over-delete needs, so retractions there route through the
+        checkpointed-recompute fallback instead of the exchange path.
+        """
+        if not database.provenance.idempotent_oplus:
+            reason = (
+                f"provenance {database.provenance.name!r} has a "
+                "non-idempotent ⊕ (re-derivation would double-count "
+                "alternatives)"
+            )
+            return False, reason
+        if self.apm.has_negation:
+            return False, (
+                "program uses stratified negation (a retraction can add "
+                "negated conclusions, which over-delete/re-derive cannot "
+                "express)"
+            )
+        if self._use_sharded():
+            return False, (
+                "sharded engines rebuild and rerun from scratch on "
+                "retraction (the replicated closure tracks no per-shard "
+                "doom masks)"
+            )
+        return True, None
+
     def _use_sharded(self) -> bool:
         """Whether runs go through the sharded executor (negation makes a
         program non-partitionable: stratified negation is only sound
@@ -312,6 +372,7 @@ class LobsterEngine:
         database: Database,
         *,
         incremental: bool | None = None,
+        maintain: bool | None = None,
         reset_profile: bool = True,
         _interpreter: ApmInterpreter | None = None,
     ) -> ExecutionResult:
@@ -323,19 +384,62 @@ class LobsterEngine:
         delta-seeded evaluation if :meth:`supports_incremental` allows,
         otherwise it transparently rebuilds and reruns from scratch —
         either way the results match a cold evaluation of all facts.
+
+        A database with staged retractions (:meth:`Database.retract_facts`)
+        takes the *maintain* path: when ``maintain`` is None the engine
+        runs a DRed-style maintain pass if :meth:`supports_maintain`
+        allows, otherwise it falls back to the checkpointed recompute
+        (retractions applied to the fact log, then a cold rerun), with
+        the reason recorded on :attr:`ExecutionResult.maintain_fallback`.
+        ``maintain=True`` demands the in-place pass and raises
+        :class:`~repro.errors.RetractionUnsupportedError` when it cannot
+        be taken; ``maintain=False`` forces the fallback.  Either way the
+        results match a cold evaluation of the surviving facts.
+
         ``reset_profile=False`` accumulates device counters instead of
         zeroing them (used by sessions sharing one device); the returned
         profile still covers only this run.
         """
         if self._use_sharded() and _interpreter is None:
             return self._run_sharded(
-                database, incremental=incremental, reset_profile=reset_profile
+                database,
+                incremental=incremental,
+                maintain=maintain,
+                reset_profile=reset_profile,
             )
         device = _interpreter.device if _interpreter is not None else self.device
         if reset_profile:
             device.profile.reset()
         run_incremental = False
-        if database.evaluated and (database.has_pending_facts or incremental):
+        run_maintain = False
+        fallback: str | None = None
+        if database.has_pending_retractions:
+            eligible, reason = self.supports_maintain(database)
+            if not database.evaluated:
+                # Nothing derived yet: the retraction only edits the
+                # staged input facts, and the first run is cold anyway.
+                eligible, reason = False, None
+            if maintain is False:
+                eligible, reason = False, "maintain=False requested"
+            if eligible:
+                run_maintain = True
+            elif maintain:
+                raise RetractionUnsupportedError(
+                    reason or "database has never been evaluated"
+                )
+            else:
+                fallback = reason
+                database.rebuild()  # discards retracted instances first
+        elif maintain:
+            raise RetractionUnsupportedError(
+                "no retractions are staged; maintain=True only applies to "
+                "a database with pending retract_facts deltas"
+            )
+        if (
+            not run_maintain
+            and database.evaluated
+            and (database.has_pending_facts or incremental)
+        ):
             eligible = self.supports_incremental(database)
             if incremental is None:
                 run_incremental = eligible
@@ -361,7 +465,10 @@ class LobsterEngine:
         )
         iterations_before = interpreter.iterations_run
         start = time.perf_counter()
-        interpreter.run(self.apm, database, incremental=run_incremental)
+        if run_maintain:
+            interpreter.maintain(self.apm, database)
+        else:
+            interpreter.run(self.apm, database, incremental=run_incremental)
         wall = time.perf_counter() - start
         database.evaluated = True
         # The result always carries its own per-run counter copy — the
@@ -378,6 +485,8 @@ class LobsterEngine:
             compile_seconds=self.compile_seconds,
             program_from_cache=self.cache_hit,
             incremental=run_incremental,
+            maintained=run_maintain,
+            maintain_fallback=fallback,
         )
 
     def _run_sharded(
@@ -385,6 +494,7 @@ class LobsterEngine:
         database: Database,
         *,
         incremental: bool | None,
+        maintain: bool | None = None,
         reset_profile: bool,
     ) -> ExecutionResult:
         """Execute across the shard pool via the sharded executor.
@@ -392,6 +502,11 @@ class LobsterEngine:
         Warm databases rerun from scratch (a transparent
         :meth:`Database.rebuild`); explicitly requesting the delta-seeded
         path is an error, matching :meth:`supports_incremental`.
+        Staged retractions take the documented fallback — they are
+        applied to the fact log and the query reruns cold across the
+        shards — rather than routing doom frontiers through the
+        exchange path; demanding the in-place pass raises, matching
+        :meth:`supports_maintain`.
         """
         from ..dist.executor import ShardedExecutor
 
@@ -399,6 +514,17 @@ class LobsterEngine:
             raise LobsterError(
                 "sharded engines rerun from scratch; delta-seeded "
                 "incremental evaluation requires shards=1"
+            )
+        fallback: str | None = None
+        if database.has_pending_retractions:
+            if maintain:
+                raise RetractionUnsupportedError(self.supports_maintain(database)[1])
+            fallback = self.supports_maintain(database)[1]
+            database.rebuild()
+        elif maintain:
+            raise RetractionUnsupportedError(
+                "no retractions are staged; maintain=True only applies to "
+                "a database with pending retract_facts deltas"
             )
         if database.evaluated and database.has_pending_facts:
             database.rebuild()
@@ -437,6 +563,7 @@ class LobsterEngine:
             compile_seconds=self.compile_seconds,
             program_from_cache=self.cache_hit,
             incremental=False,
+            maintain_fallback=fallback,
             shards=self.shards,
             shard_profiles=shard_profiles,
         )

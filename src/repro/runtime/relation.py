@@ -49,6 +49,134 @@ def dedup_table(delta: Table, provenance: Provenance) -> Table:
     return Table(unique_cols, tags, nseg)
 
 
+class RowLocator:
+    """Membership lookups against one (lexicographically sorted) table.
+
+    The over-delete phase of DRed-style maintenance repeatedly asks
+    "which of these candidate rows exist in ``full``?" while ``full`` is
+    guaranteed static.  Building the locator once per maintain pass makes
+    each lookup a binary search over a packed 64-bit key column (the same
+    radix-pack trick :func:`~repro.gpu.kernels.lex_rank` uses) instead of
+    a fresh O((n+q) log) sort; tables whose rows cannot pack (floats,
+    >63 bits) fall back to the concatenate-and-rank path per call.
+    """
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._params: list[tuple[int, int]] | None = None  # (lo, bits) per col
+        self._packed: np.ndarray | None = None
+        if table.arity and table.n_rows and all(
+            c.dtype.kind != "f" for c in table.columns
+        ):
+            params: list[tuple[int, int]] = []
+            total_bits = 0
+            for col in table.columns:
+                lo, hi = int(col.min()), int(col.max())
+                bits = max(hi - lo, 1).bit_length()
+                total_bits += bits
+                params.append((lo, bits))
+            if total_bits <= 63:
+                self._params = params
+                self._packed = self._pack(table.columns)[0]
+
+    def _pack(self, columns) -> tuple[np.ndarray, np.ndarray]:
+        """Pack query columns with the table's offsets/widths; rows whose
+        values fall outside the table's per-column range can never match
+        and are reported through the validity mask."""
+        assert self._params is not None
+        n = len(columns[0])
+        packed = np.zeros(n, dtype=np.uint64)
+        valid = np.ones(n, dtype=bool)
+        for col, (lo, bits) in zip(columns, self._params):
+            col = np.asarray(col).astype(np.int64)
+            valid &= (col >= lo) & (col - lo < (1 << bits))
+            shifted = np.clip(col - lo, 0, (1 << bits) - 1).astype(np.uint64)
+            packed = (packed << np.uint64(bits)) | shifted
+        return packed, valid
+
+    def contains(self, columns, n_query: int | None = None) -> np.ndarray:
+        """Boolean mask over the *query* rows present in the table (the
+        opposite direction of :meth:`member_mask`).  ``n_query`` must be
+        passed for arity-0 queries (no columns to measure)."""
+        table = self._table
+        if n_query is None:
+            n_query = len(columns[0]) if columns else 0
+        if table.arity == 0:
+            # Every arity-0 query row is the empty tuple, present iff the
+            # table is nonempty.
+            return np.full(n_query, table.n_rows > 0, dtype=bool)
+        if table.n_rows == 0 or n_query == 0:
+            return np.zeros(n_query, dtype=bool)
+        if self._packed is not None:
+            query, valid = self._pack(columns)
+            idx = np.searchsorted(self._packed, query, side="left")
+            in_range = idx < len(self._packed)
+            hit = np.zeros(n_query, dtype=bool)
+            hit[in_range] = self._packed[idx[in_range]] == query[in_range]
+            return hit & valid
+        origin, order, segment_ids = self._merged_groups(columns, n_query)
+        nseg = int(segment_ids[-1]) + 1 if len(segment_ids) else 0
+        seg_has_full = np.zeros(nseg, dtype=bool)
+        seg_has_full[segment_ids[origin == 0]] = True
+        hit = np.zeros(n_query, dtype=bool)
+        query_positions = order[origin == 1] - table.n_rows
+        hit[query_positions] = seg_has_full[segment_ids[origin == 1]]
+        return hit
+
+    def _merged_groups(
+        self, columns, n_query: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The unpackable-rows fallback shared by :meth:`contains` and
+        :meth:`member_mask`: merge-sort the table's rows with the query
+        rows and group equal rows.  Returns ``(origin, order,
+        segment_ids)`` in sorted position order, where ``origin`` is 0
+        for table rows and 1 for query rows."""
+        table = self._table
+        combined = [
+            np.concatenate([fc, np.asarray(qc).astype(fc.dtype)])
+            for fc, qc in zip(table.columns, columns)
+        ]
+        origin = np.concatenate(
+            [
+                np.zeros(table.n_rows, dtype=np.int64),
+                np.ones(n_query, dtype=np.int64),
+            ]
+        )
+        order = kernels.lex_rank(combined + [origin])
+        combined = [c[order] for c in combined]
+        is_first = kernels.row_group_boundaries(combined)
+        return origin[order], order, np.cumsum(is_first) - 1
+
+    def member_mask(self, columns) -> np.ndarray:
+        """Boolean mask over the *table's* rows hit by any query row."""
+        table = self._table
+        mask = np.zeros(table.n_rows, dtype=bool)
+        n_query = len(columns[0]) if columns else 0
+        if table.n_rows == 0:
+            return mask
+        if table.arity == 0:
+            # All arity-0 rows are equal; any query row hits them all.
+            mask[:] = True
+            return mask
+        if n_query == 0:
+            return mask
+        if self._packed is not None:
+            query, valid = self._pack(columns)
+            query = query[valid]
+            idx = np.searchsorted(self._packed, query, side="left")
+            in_range = idx < len(self._packed)
+            hit = idx[in_range][self._packed[idx[in_range]] == query[in_range]]
+            mask[hit] = True
+            return mask
+        origin, order, segment_ids = self._merged_groups(columns, n_query)
+        nseg = int(segment_ids[-1]) + 1 if len(segment_ids) else 0
+        seg_has_query = np.zeros(nseg, dtype=bool)
+        seg_has_query[segment_ids[origin == 1]] = True
+        full_positions = order[origin == 0]  # original indices into full
+        mask[full_positions] = seg_has_query[segment_ids[origin == 0]]
+        return mask
+
+
 class StoredRelation:
     """One relation's persistent storage across fix-point iterations."""
 
@@ -106,6 +234,25 @@ class StoredRelation:
         """Make the semi-naive frontier exactly the changed rows (the
         incremental-pass replacement for :meth:`mark_all_recent`)."""
         self.recent_mask = self.changed_mask.copy()
+
+    def locator(self) -> RowLocator:
+        """A fresh membership index over the current ``full`` table.
+        Valid only while ``full`` is not mutated (the over-delete phase
+        guarantees this: nothing is removed until dooming finishes)."""
+        return RowLocator(self.full)
+
+    def remove_rows(self, mask: np.ndarray) -> Table:
+        """Physically remove the masked rows from ``full`` (the DRed
+        over-delete step); returns the removed rows with their old tags
+        so callers can surface them as retraction deltas.  ``full`` stays
+        sorted (removal preserves order); the recent/changed masks are
+        reset — the re-derive phase reseeds them."""
+        removed = self.full.take(np.flatnonzero(mask))
+        keep = np.flatnonzero(~mask)
+        self.full = self.full.take(keep)
+        self.recent_mask = np.zeros(self.full.n_rows, dtype=bool)
+        self.changed_mask = np.zeros(self.full.n_rows, dtype=bool)
+        return removed
 
     # ------------------------------------------------------------------
 

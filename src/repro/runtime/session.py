@@ -365,6 +365,10 @@ class LobsterSession:
             self.metrics.counter("session.queries").inc()
             if result.incremental:
                 self.metrics.counter("session.incremental_runs").inc()
+            if result.maintained:
+                self.metrics.counter("session.maintained_runs").inc()
+            if result.maintain_fallback is not None:
+                self.metrics.counter("session.maintain_fallbacks").inc()
             self.metrics.histogram("session.service_s").observe(
                 result.service_seconds
             )

@@ -18,7 +18,11 @@ or refuse.  Five pieces compose it:
   warm per-program sessions;
 * :mod:`~repro.serve.loadgen` / :mod:`~repro.serve.metrics` — seeded
   Poisson/bursty open-loop arrivals, and the counter/gauge/histogram
-  registry every layer reports into.
+  registry every layer reports into;
+* :mod:`~repro.serve.streaming` — the maintenance tick path: registered
+  :class:`~repro.stream.view.MaterializedView`\\ s run their window
+  deltas on the serve clock, sharing devices and metrics with request
+  traffic.
 
 The whole stack runs on *simulated* time (arrivals from the load
 generator, service from the device cost model), so a serving run's
@@ -39,6 +43,7 @@ from .request import (
     default_slo_classes,
 )
 from .scheduler import Scheduler, ServeReport
+from .streaming import StreamReport, StreamScheduler
 
 __all__ = [
     "COMPLETED",
@@ -58,5 +63,7 @@ __all__ = [
     "Scheduler",
     "ServeReport",
     "ServiceEstimator",
+    "StreamReport",
+    "StreamScheduler",
     "default_slo_classes",
 ]

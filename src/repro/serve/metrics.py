@@ -133,11 +133,17 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """The p-th percentile (0 < p <= 100), interpolated within the
-        winning bucket and clamped to the observed range."""
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile wants 0 < p <= 100, got {p}")
+        winning bucket and clamped to the observed range.
+
+        An empty histogram answers 0.0 for *any* ``p`` (even an invalid
+        one) rather than raising: report paths query percentiles for
+        every instrument ever created, and an SLO class that happened to
+        serve no traffic must render as zero latency, not crash the
+        report."""
         if not self.count:
             return 0.0
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile wants 0 < p <= 100, got {p}")
         rank = max(1, math.ceil(p / 100.0 * self.count))
         cumulative = 0
         for index in sorted(self.counts):

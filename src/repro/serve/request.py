@@ -109,14 +109,12 @@ class Request:
 
     @property
     def program_key(self) -> str:
-        """The micro-batching compatibility key: requests coalesce iff
-        they share one compiled program (the ProgramCache identity —
-        source, provenance, optimization flags) *and* the same
-        ``max_iterations``, the one engine setting that changes
-        execution semantics without changing the compiled artifact.
-        A whole micro-batch runs through one session's engine, so
-        differently-budgeted engines must never share a batch."""
-        return f"{self.engine.compiled.key}:{self.engine.max_iterations}"
+        """The micro-batching compatibility key
+        (:attr:`LobsterEngine.program_key`): a whole micro-batch runs
+        through one session's engine, so only requests whose engines
+        share the compiled artifact *and* execution budget may share a
+        batch."""
+        return self.engine.program_key
 
     def deadline_at(self, slo_class: SLOClass) -> float:
         """Absolute serve-clock time at which this request expires."""

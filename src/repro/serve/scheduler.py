@@ -56,6 +56,21 @@ from ..runtime.session import LobsterSession
 __all__ = ["Scheduler", "ServeReport"]
 
 
+def seed_free_at(busy_until: list[float] | None, pool: DevicePool) -> list[float]:
+    """Initial per-device free times on the serve clock: all zero, or a
+    carried ``busy_until`` horizon from a preceding drain.  Shared by the
+    request scheduler and the stream scheduler so the hand-the-horizons-
+    back-and-forth protocol stays symmetric."""
+    if busy_until is None:
+        return [0.0] * len(pool)
+    if len(busy_until) != len(pool):
+        raise LobsterError(
+            f"busy_until has {len(busy_until)} entries for a "
+            f"{len(pool)}-device pool"
+        )
+    return [float(t) for t in busy_until]
+
+
 @dataclass
 class ServeReport:
     """Aggregate outcome of one :meth:`Scheduler.run` drain."""
@@ -79,6 +94,11 @@ class ServeReport:
     #: timestamps start late (or a reused scheduler draining a
     #: continuing stream) is not diluted by the idle lead-in.
     stream_start_s: float = 0.0
+    #: Serve-clock time each pool device is busy until after this drain
+    #: — feed into the next ``run(busy_until=...)`` (or a
+    #: StreamScheduler) to carry device occupancy across interleaved
+    #: request/maintenance drains on one shared pool.
+    busy_until: list[float] = field(default_factory=list)
 
     def _count(self, status: str) -> int:
         return sum(1 for outcome in self.outcomes if outcome.status == status)
@@ -207,13 +227,27 @@ class Scheduler:
     # ------------------------------------------------------------------
     # The event loop
 
-    def run(self, requests: Iterable[Request] = ()) -> ServeReport:
+    def run(
+        self,
+        requests: Iterable[Request] = (),
+        *,
+        busy_until: list[float] | None = None,
+    ) -> ServeReport:
         """Drain ``requests`` plus everything submitted so far through
         the serve clock.
 
-        The returned report's ``outcomes`` (and the counts derived from
-        them) cover this drain only; its ``metrics`` registry is the
-        scheduler's own, cumulative across drains."""
+        ``busy_until`` seeds each pool device's initial free time on the
+        serve clock (default: all free at 0) — this is how maintenance
+        work from a :class:`~repro.serve.streaming.StreamScheduler` and
+        request traffic share one pool: whoever ran last hands its
+        devices' busy horizons to whoever runs next, so a device still
+        finishing a maintain tick delays the micro-batch dispatched onto
+        it.  The returned report's ``outcomes`` (and the counts derived
+        from them) cover this drain only; its ``metrics`` registry is
+        the scheduler's own, cumulative across drains."""
+        # Validate before draining intake: a bad busy_until must not eat
+        # the already-submitted requests (they stay queued for a retry).
+        free_at = seed_free_at(busy_until, self.pool)
         for request in requests:
             self.submit(request)
         with self._intake_lock:
@@ -224,7 +258,6 @@ class Scheduler:
         self.outcomes = {}  # this drain's records only (no unbounded growth)
         queue = RequestQueue(self.classes)
         self._queue = queue
-        free_at = [0.0] * len(self.pool)
         run_outcomes: list[Outcome] = []
         stream_start = arrivals[0].arrival_s if arrivals else 0.0
         now = stream_start
@@ -272,6 +305,7 @@ class Scheduler:
             pool_size=len(self.pool),
             classes=dict(self.classes),
             stream_start_s=stream_start,
+            busy_until=list(free_at),
         )
         # The no-lost-no-duplicated invariant, checked on every drain.
         if report.completed + report.rejected + report.shed != len(arrivals):

@@ -1,0 +1,50 @@
+"""Streaming incremental view maintenance.
+
+Where :mod:`repro.serve` answers *requests* that arrive over time,
+``stream/`` keeps *standing queries* continuously correct as the data
+changes underneath them — the fourth pillar next to ``apm/`` (one
+query, one device), ``dist/`` (one query, many devices), and ``serve/``
+(many queries, many devices).  Four pieces compose it:
+
+* :mod:`~repro.stream.source` — seeded, replayable event streams over
+  the workload generators (graph edges, static-analysis churn);
+* :mod:`~repro.stream.window` — tumbling/sliding windows that turn the
+  insert stream into *signed* per-tick deltas (expiry emits
+  retractions);
+* :mod:`~repro.stream.view` — :class:`MaterializedView`: one compiled
+  program's query relations, re-evaluated per tick through the engine's
+  DRed-style maintain path (over-delete, re-derive, propagate — with a
+  checkpointed-recompute fallback for negation / non-idempotent ⊕), and
+  diffed into result deltas that satisfy the conservation law;
+* :mod:`~repro.stream.subscription` — poll/push cursors over a view's
+  delta log, with exact replay from tick 0.
+
+The serve-clock integration — maintenance ticks sharing devices and
+metrics with request traffic — lives in
+:class:`repro.serve.streaming.StreamScheduler`.
+"""
+
+from .source import (
+    RelationStream,
+    StreamEvent,
+    graph_edge_stream,
+    psa_churn_stream,
+)
+from .subscription import Subscription, replay_deltas
+from .view import MaterializedView, ViewDelta
+from .window import SlidingWindow, TickDelta, TumblingWindow, Window
+
+__all__ = [
+    "MaterializedView",
+    "RelationStream",
+    "SlidingWindow",
+    "StreamEvent",
+    "Subscription",
+    "TickDelta",
+    "TumblingWindow",
+    "ViewDelta",
+    "Window",
+    "graph_edge_stream",
+    "psa_churn_stream",
+    "replay_deltas",
+]

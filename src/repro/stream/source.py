@@ -1,0 +1,137 @@
+"""Seeded, replayable stream sources over the workload generators.
+
+A stream source turns one of the repo's static fact bases (graph
+corpora, PSA subjects, CSPA instances) into a *timed* sequence of input
+facts: :meth:`StreamSource.batch` is a pure function of the tick index,
+so any consumer can replay the stream from tick 0 and observe the exact
+same events — the property every determinism test and every latency
+histogram in the streaming benchmark rests on.
+
+Probabilities are assigned **per row** at construction time (from the
+source's own seeded generator), so a row that leaves a window and later
+re-enters carries the same probability both times.  Without that, the
+window's "re-insert extends the row's life" dedup policy would have to
+choose between two probabilities for one live row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StreamEvent",
+    "RelationStream",
+    "graph_edge_stream",
+    "psa_churn_stream",
+]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timed input fact: insert ``row`` into ``relation``."""
+
+    relation: str
+    row: tuple
+    prob: float | None = None
+
+
+class StreamSource:
+    """Base class: a deterministic tick -> event-batch function."""
+
+    #: Relations this source feeds (windows stage deltas per relation).
+    relations: tuple[str, ...] = ()
+
+    def batch(self, tick: int) -> list[StreamEvent]:
+        """The events arriving at ``tick``.  Must be a pure function of
+        ``tick`` — calling it twice, or out of order, returns the same
+        batch, which is what makes streams replayable."""
+        raise NotImplementedError
+
+
+class RelationStream(StreamSource):
+    """Cycle a fixed row set through one relation at a steady rate.
+
+    The rows are shuffled once with the seed and then replayed
+    ``per_tick`` at a time, wrapping around — a window larger than
+    ``len(rows) / per_tick`` ticks therefore holds every row at once,
+    and a smaller one slides over the shuffled order like churn over a
+    changing working set.
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        rows: list[tuple],
+        per_tick: int,
+        seed: int = 0,
+        prob_range: tuple[float, float] | None = None,
+    ):
+        if per_tick < 1:
+            raise ValueError("per_tick must be >= 1")
+        if not rows:
+            raise ValueError("a RelationStream needs at least one row")
+        self.relation = relation
+        self.relations = (relation,)
+        self.per_tick = per_tick
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(rows))
+        self._rows = [tuple(rows[i]) for i in order]
+        self._probs: list[float | None]
+        if prob_range is None:
+            self._probs = [None] * len(self._rows)
+        else:
+            lo, hi = prob_range
+            self._probs = [float(p) for p in rng.uniform(lo, hi, len(self._rows))]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def batch(self, tick: int) -> list[StreamEvent]:
+        if tick < 0:
+            raise ValueError("ticks start at 0")
+        start = tick * self.per_tick
+        events = []
+        for offset in range(self.per_tick):
+            index = (start + offset) % len(self._rows)
+            events.append(
+                StreamEvent(self.relation, self._rows[index], self._probs[index])
+            )
+        return events
+
+
+def graph_edge_stream(
+    name: str,
+    per_tick: int,
+    seed: int = 0,
+    relation: str = "edge",
+    prob_range: tuple[float, float] | None = None,
+) -> RelationStream:
+    """A stream cycling a named corpus graph's edges (the sliding-window
+    TC workload of the streaming benchmark)."""
+    from ..workloads.graphs import load_graph
+
+    return RelationStream(
+        relation, load_graph(name), per_tick, seed=seed, prob_range=prob_range
+    )
+
+
+def psa_churn_stream(
+    subject: str,
+    per_tick: int,
+    seed: int = 0,
+    relation: str = "assign",
+    prob_range: tuple[float, float] = (0.6, 1.0),
+) -> RelationStream:
+    """Static-analysis churn: cycle one of a PSA subject's probabilistic
+    relations (``assign`` by default — the facts a code edit touches)
+    while the rest of the subject's fact base stays persistent."""
+    from ..workloads.static_analysis import psa_instance
+
+    instance = psa_instance(subject)
+    rows, _ = instance["probabilistic"][relation]
+    return RelationStream(
+        relation, rows, per_tick, seed=seed, prob_range=prob_range
+    )

@@ -1,0 +1,306 @@
+"""Materialized views: query results kept continuously correct.
+
+A :class:`MaterializedView` binds one compiled program (through its
+engine — the ProgramCache key identifies the artifact) to one database
+and keeps the program's query relations evaluated as signed input deltas
+arrive.  Each :meth:`MaterializedView.apply` stages a
+:class:`~repro.stream.window.TickDelta` (retractions first, then
+inserts), runs the engine — the DRed maintain path when it is sound, the
+checkpointed-recompute fallback otherwise, never a wrong answer — and
+diffs the new results against the previous ones into a
+:class:`ViewDelta`: the rows (with probabilities) that entered, left, or
+changed.
+
+View deltas satisfy the conservation law by construction:
+``state_before ⊎ inserted ∖ retracted == state_after`` per relation (a
+changed row appears as a retract of the old value plus an insert of the
+new), so replaying the retained history from tick 0 over the baseline
+reconstructs the current state exactly — that is what
+:meth:`~repro.stream.subscription.Subscription.replay` does, and what
+the streaming tests verify.
+
+Staleness: the view records the database's mutation counter after every
+apply.  If anything else mutates the database (a direct ``add_facts``,
+another view, a rebuild), the next :meth:`apply` raises
+:class:`~repro.errors.StaleViewError` instead of silently emitting
+deltas relative to a state it never observed; :meth:`refresh`
+re-baselines (and invalidates retained history, so stale subscriptions
+also fail loudly rather than resume mid-stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .subscription import Subscription
+from .window import TickDelta
+from ..errors import LobsterError, StaleViewError
+
+if TYPE_CHECKING:  # circular-import guard
+    from ..runtime.database import Database
+    from ..runtime.engine import ExecutionResult, LobsterEngine
+
+__all__ = ["MaterializedView", "ViewDelta"]
+
+#: row -> probability, one relation's materialized state.
+RelationState = dict[tuple, float]
+
+
+@dataclass
+class ViewDelta:
+    """The result-side delta of one applied tick."""
+
+    tick: int
+    #: Per relation: (row, prob) pairs that entered the view (including
+    #: the new value of a row whose probability changed).
+    inserted: dict[str, list[tuple[tuple, float]]] = field(default_factory=dict)
+    #: Per relation: (row, prob) pairs that left the view (including the
+    #: old value of a changed row).
+    retracted: dict[str, list[tuple[tuple, float]]] = field(default_factory=dict)
+    #: Whether the run maintained in place (DRed) vs fell back.
+    maintained: bool = False
+    #: The fallback reason when the run recomputed instead.
+    fallback: str | None = None
+    #: Modeled device occupancy of the tick's run (the serve clock's
+    #: charge; what the update-latency histograms observe).
+    service_seconds: float = 0.0
+    #: Host wall seconds of the tick's run.
+    wall_seconds: float = 0.0
+    #: Source ticks covered (> 1 when the scheduler coalesced).
+    ticks_covered: int = 1
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.inserted.values()) and not any(self.retracted.values())
+
+    def change_count(self) -> int:
+        return sum(len(rows) for rows in self.inserted.values()) + sum(
+            len(rows) for rows in self.retracted.values()
+        )
+
+
+class MaterializedView:
+    """One program's query results, maintained under signed deltas."""
+
+    def __init__(
+        self,
+        engine: "LobsterEngine",
+        relations: list[str] | None = None,
+        database: "Database | None" = None,
+        name: str = "view",
+        max_history: int | None = None,
+        metrics=None,
+    ):
+        """``relations`` defaults to the program's ``query`` declarations
+        (every IDB relation when the program declares none).  ``database``
+        may carry pre-loaded facts; if it was already evaluated, that
+        state becomes the baseline deltas are measured against.
+        ``max_history`` bounds the retained :class:`ViewDelta` log
+        (``None`` = unbounded, which full replay requires); ``metrics``
+        (a MetricsRegistry-shaped object) observes per-tick maintain
+        latency and outcomes."""
+        self.engine = engine
+        self.name = name
+        self.database = database or engine.create_database()
+        if relations is None:
+            relations = list(engine.apm.queries) or [
+                predicate
+                for stratum in engine.apm.strata
+                for predicate in stratum.predicates
+            ]
+        if not relations:
+            raise LobsterError(
+                "a MaterializedView needs at least one result relation "
+                "(declare `query <rel>` in the program or pass relations=)"
+            )
+        self.relations = list(relations)
+        self.max_history = max_history
+        self.metrics = metrics
+        self._history: list[ViewDelta] = []
+        self._pruned = 0  # deltas dropped from the front of the history
+        #: Bumped by refresh(): subscriptions from an earlier epoch fail
+        #: loudly even when their cursor happens to equal the prune
+        #: point (a caught-up reader still missed the re-baseline).
+        self._epoch = 0
+        self._subscribers: list[Subscription] = []
+        if self.database.evaluated:
+            self._baseline = self._current_state()
+        else:
+            self._baseline = {relation: {} for relation in self.relations}
+        self._state = {
+            relation: dict(rows) for relation, rows in self._baseline.items()
+        }
+        self._db_version = self.database.version
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ticks_applied(self) -> int:
+        return self._pruned + len(self._history)
+
+    @property
+    def history(self) -> list[ViewDelta]:
+        """The retained delta log (oldest first; may be pruned)."""
+        return list(self._history)
+
+    @property
+    def pruned_ticks(self) -> int:
+        return self._pruned
+
+    def result(self, relation: str) -> RelationState:
+        """The view's current state for one relation (row -> prob)."""
+        if relation not in self._state:
+            raise LobsterError(
+                f"relation {relation!r} is not part of this view; "
+                f"tracked: {self.relations}"
+            )
+        return dict(self._state[relation])
+
+    def baseline(self) -> dict[str, RelationState]:
+        """The pre-stream state replay starts from."""
+        return {relation: dict(rows) for relation, rows in self._baseline.items()}
+
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        delta: TickDelta,
+        runner: "Callable[[Database], ExecutionResult] | None" = None,
+    ) -> ViewDelta:
+        """Stage ``delta``, run the engine, and emit the result delta.
+
+        ``runner`` overrides how the evaluation executes (the stream
+        scheduler passes a session step pinned to a pool device so
+        maintenance shares devices with request traffic); the default is
+        the engine's own device.  Raises
+        :class:`~repro.errors.StaleViewError` if the database was
+        mutated outside this view since the last apply.
+
+        Cost note: the maintain pass itself is proportional to the
+        delta's blast radius (that is what the latency histograms
+        measure, on the modeled device clock), but the *host-side* diff
+        that produces the :class:`ViewDelta` re-materializes and
+        compares the tracked relations in full — O(|view|) Python work
+        per tick.  That exactness is what makes the conservation law
+        hold by construction; deriving deltas from the engine's changed
+        masks instead would trade that guarantee for per-tick host cost
+        proportional to the change."""
+        if self.database.version != self._db_version:
+            raise StaleViewError(
+                f"view {self.name!r}: database was mutated outside the "
+                "view's tick path (call refresh() to re-baseline)"
+            )
+        for relation, rows in delta.retracts.items():
+            if rows:
+                self.database.retract_facts(relation, rows)
+        for relation, (rows, probs) in delta.inserts.items():
+            if not rows:
+                continue
+            if probs is None:
+                self.database.add_facts(relation, rows)
+                continue
+            # A per-row None marks a discrete (untagged) fact in an
+            # otherwise probabilistic batch — stage it separately rather
+            # than collapsing it to probability 0.
+            discrete = [row for row, prob in zip(rows, probs) if prob is None]
+            tagged = [
+                (row, prob) for row, prob in zip(rows, probs) if prob is not None
+            ]
+            if discrete:
+                self.database.add_facts(relation, discrete)
+            if tagged:
+                self.database.add_facts(
+                    relation,
+                    [row for row, _ in tagged],
+                    probs=[prob for _, prob in tagged],
+                )
+        if runner is None:
+            result = self.engine.run(self.database)
+        else:
+            result = runner(self.database)
+        self._db_version = self.database.version
+
+        new_state = self._current_state()
+        view_delta = ViewDelta(
+            tick=delta.tick,
+            maintained=result.maintained,
+            fallback=result.maintain_fallback,
+            service_seconds=result.service_seconds,
+            wall_seconds=result.wall_seconds,
+            ticks_covered=delta.ticks_covered,
+        )
+        for relation in self.relations:
+            old, new = self._state[relation], new_state[relation]
+            retracted = [
+                (row, prob)
+                for row, prob in sorted(old.items())
+                if new.get(row) != prob
+            ]
+            inserted = [
+                (row, prob)
+                for row, prob in sorted(new.items())
+                if old.get(row) != prob
+            ]
+            if retracted:
+                view_delta.retracted[relation] = retracted
+            if inserted:
+                view_delta.inserted[relation] = inserted
+        self._state = new_state
+        self._history.append(view_delta)
+        if self.max_history is not None:
+            while len(self._history) > self.max_history:
+                self._history.pop(0)
+                self._pruned += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"stream.ticks.{self.name}").inc()
+            if result.maintained:
+                self.metrics.counter(f"stream.maintained.{self.name}").inc()
+            elif result.maintain_fallback is not None:
+                self.metrics.counter(f"stream.fallbacks.{self.name}").inc()
+            self.metrics.histogram(
+                f"stream.maintain_latency_s.{self.name}"
+            ).observe(result.service_seconds)
+            changed = view_delta.change_count()
+            if changed:
+                # Quiet ticks are visible through stream.ticks minus this
+                # histogram's count; folding them in as 1-row ticks would
+                # misstate the churn distribution.
+                self.metrics.histogram(
+                    f"stream.changed_rows.{self.name}", lo=1.0
+                ).observe(changed)
+        for subscription in self._subscribers:
+            subscription._notify(view_delta)
+        return view_delta
+
+    def refresh(self) -> None:
+        """Re-baseline after an out-of-band database mutation: run the
+        engine, capture the current state as the new baseline, and drop
+        the retained history (stale subscriptions then fail loudly on
+        their next poll instead of resuming mid-stream)."""
+        self.engine.run(self.database)
+        self._db_version = self.database.version
+        self._baseline = self._current_state()
+        self._state = {
+            relation: dict(rows) for relation, rows in self._baseline.items()
+        }
+        self._pruned += len(self._history)
+        self._history = []
+        self._epoch += 1
+
+    def subscribe(self, callback=None) -> Subscription:
+        """A cursor over this view's delta stream from the current tick
+        onward; ``callback`` additionally receives every future
+        :class:`ViewDelta` as it is applied (push mode)."""
+        subscription = Subscription(self, self.ticks_applied, callback)
+        subscription.epoch = self._epoch
+        self._subscribers.append(subscription)
+        return subscription
+
+    # ------------------------------------------------------------------
+
+    def _current_state(self) -> dict[str, RelationState]:
+        return {
+            relation: self.engine.query_probs(self.database, relation)
+            for relation in self.relations
+        }

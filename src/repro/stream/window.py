@@ -1,0 +1,194 @@
+"""Tumbling and sliding windows: the insert stream becomes signed.
+
+A window turns a :class:`~repro.stream.source.StreamSource`'s insert-only
+event stream into per-tick :class:`TickDelta`\\ s carrying both inserts
+and **retractions** — rows whose window membership expired this tick.
+Retractions are what the maintain path consumes
+(:meth:`~repro.runtime.database.Database.retract_facts`), so windows are
+the bridge between "facts arrive over time" and "query results stay
+continuously correct".
+
+Dedup policy: a window holds at most one live instance per (relation,
+row).  Re-inserting a live row *extends its life* (its expiry moves to
+the later tick) rather than emitting a duplicate insert — matching
+``retract_facts``'s all-instances semantics, so a window never needs to
+reason about multiplicities.  Probabilities ride with the row's first
+insertion; sources assign them per row, so an extension never sees a
+conflicting probability.
+
+Windows are stateful iterators (:meth:`advance` consumes the next tick)
+but fully replayable: :meth:`reset` returns to tick 0, and because the
+underlying source is a pure function of the tick index, a reset window
+re-emits the identical delta sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .source import StreamSource
+
+__all__ = ["TickDelta", "SlidingWindow", "TumblingWindow", "Window"]
+
+
+@dataclass
+class TickDelta:
+    """The signed input delta of one tick (or several coalesced ticks)."""
+
+    tick: int
+    #: Per relation: (rows, probs) to insert.  ``probs`` is None for a
+    #: fully discrete batch; otherwise it is per-row, and a None entry
+    #: marks that row as a discrete (untagged) fact — consumers must
+    #: not conflate "discrete" with "probability 0".
+    inserts: dict[str, tuple[list[tuple], list[float | None] | None]] = field(
+        default_factory=dict
+    )
+    #: Per relation: rows whose window membership expired.
+    retracts: dict[str, list[tuple]] = field(default_factory=dict)
+    #: How many source ticks this delta covers (> 1 after coalescing).
+    ticks_covered: int = 1
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(rows for rows, _ in self.inserts.values()) and not any(
+            self.retracts.values()
+        )
+
+    def merged_with(self, later: "TickDelta") -> "TickDelta":
+        """Coalesce with the delta of a *later* tick: net effect of
+        applying ``self`` then ``later``.  A row inserted here and
+        retracted later cancels (the insert was never applied, so there
+        is nothing to retract); a row retracted here and re-inserted
+        later keeps **both** — the old live instance must still leave
+        the database before the fresh insert lands (``apply`` stages
+        retractions first), otherwise the coalesced tick would leave a
+        duplicate instance behind."""
+        inserts: dict[str, dict[tuple, float | None]] = {}
+        retracts: dict[str, set[tuple]] = {}
+        for delta in (self, later):
+            for relation, rows in delta.retracts.items():
+                rel_inserts = inserts.setdefault(relation, {})
+                rel_retracts = retracts.setdefault(relation, set())
+                for row in rows:
+                    if row in rel_inserts:
+                        del rel_inserts[row]  # insert-then-retract cancels
+                    else:
+                        rel_retracts.add(row)
+            for relation, (rows, probs) in delta.inserts.items():
+                rel_inserts = inserts.setdefault(relation, {})
+                for index, row in enumerate(rows):
+                    rel_inserts[row] = probs[index] if probs is not None else None
+        merged = TickDelta(
+            later.tick, ticks_covered=self.ticks_covered + later.ticks_covered
+        )
+        for relation, rel_inserts in inserts.items():
+            if not rel_inserts:
+                continue
+            rows = sorted(rel_inserts)
+            probs = [rel_inserts[row] for row in rows]
+            merged.inserts[relation] = (
+                rows, None if all(p is None for p in probs) else probs
+            )
+        for relation, rows in retracts.items():
+            if rows:
+                merged.retracts[relation] = sorted(rows)
+        return merged
+
+
+class Window:
+    """Shared live-set bookkeeping; subclasses choose the expiry rule.
+    The public base type for anything that feeds a stream scheduler."""
+
+    def __init__(self, source: StreamSource, size: int):
+        if size < 1:
+            raise ValueError("window size must be >= 1 tick")
+        self.source = source
+        self.size = size
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to tick 0 (the replay entry point)."""
+        self._next_tick = 0
+        #: (relation, row) -> expiry tick of the live instance.
+        self._live: dict[tuple[str, tuple], int] = {}
+        #: expiry tick -> keys scheduled to expire then.
+        self._expiry: dict[int, list[tuple[str, tuple]]] = {}
+
+    @property
+    def next_tick(self) -> int:
+        return self._next_tick
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def live_rows(self, relation: str | None = None) -> list[tuple]:
+        """The rows currently inside the window (sorted), optionally
+        restricted to one relation — the reference a from-scratch
+        evaluation of the window's state loads."""
+        return sorted(
+            row
+            for (rel, row) in self._live
+            if relation is None or rel == relation
+        )
+
+    def _expiry_of(self, tick: int) -> int:
+        raise NotImplementedError
+
+    def advance(self) -> TickDelta:
+        """Consume the next source tick and return its signed delta."""
+        tick = self._next_tick
+        self._next_tick += 1
+        delta = TickDelta(tick)
+        inserts: dict[str, tuple[list[tuple], list[float] | None]] = {}
+        any_prob: dict[str, bool] = {}
+        for event in self.source.batch(tick):
+            key = (event.relation, event.row)
+            expiry = self._expiry_of(tick)
+            if key in self._live:
+                # Re-insert of a live row: extend its life, emit nothing.
+                if expiry > self._live[key]:
+                    self._live[key] = expiry
+                    self._expiry.setdefault(expiry, []).append(key)
+                continue
+            self._live[key] = expiry
+            self._expiry.setdefault(expiry, []).append(key)
+            rows, probs = inserts.setdefault(event.relation, ([], []))
+            rows.append(event.row)
+            probs.append(event.prob)
+            any_prob[event.relation] = any_prob.get(event.relation, False) or (
+                event.prob is not None
+            )
+        for relation, (rows, probs) in inserts.items():
+            delta.inserts[relation] = (
+                rows,
+                probs if any_prob[relation] else None,
+            )
+        # Expire after inserting, so a row re-inserted on its expiry tick
+        # was extended above and survives.  Stale entries (extended rows,
+        # duplicates from repeated extension) fail the expiry check.
+        for key in self._expiry.pop(tick, []):
+            if self._live.get(key) == tick:
+                relation, row = key
+                delta.retracts.setdefault(relation, []).append(row)
+                del self._live[key]
+        return delta
+
+
+class SlidingWindow(Window):
+    """Per-row lifetime: a row inserted at tick ``t`` is live through
+    ticks ``t .. t+size-1`` and retracted in the delta of tick
+    ``t+size-1``'s successor boundary (i.e. it participates in exactly
+    ``size`` ticks), unless re-inserted meanwhile."""
+
+    def _expiry_of(self, tick: int) -> int:
+        return tick + self.size
+
+
+class TumblingWindow(Window):
+    """Aligned epochs: all rows inserted during ticks
+    ``[k*size, (k+1)*size)`` are retracted together when the epoch ends,
+    unless the next epoch re-inserts them."""
+
+    def _expiry_of(self, tick: int) -> int:
+        return (tick // self.size + 1) * self.size

@@ -19,7 +19,9 @@ class TestErrorHierarchy:
             "DeviceOutOfMemory",
             "EvaluationTimeout",
             "ProvenanceError",
+            "RetractionUnsupportedError",
             "SessionError",
+            "StaleViewError",
             "UnknownTicketError",
             "TicketNotRunError",
         ):
@@ -33,6 +35,17 @@ class TestErrorHierarchy:
         assert issubclass(errors.TicketNotRunError, errors.SessionError)
         assert errors.UnknownTicketError(3).ticket == 3
         assert errors.TicketNotRunError(4).ticket == 4
+
+    def test_retraction_unsupported_carries_reason(self):
+        error = errors.RetractionUnsupportedError("negation in stratum 2")
+        assert error.reason == "negation in stratum 2"
+        assert "negation in stratum 2" in str(error)
+
+    def test_streaming_errors_importable_from_top_level(self):
+        import repro
+
+        assert repro.RetractionUnsupportedError is errors.RetractionUnsupportedError
+        assert repro.StaleViewError is errors.StaleViewError
 
     def test_parse_error_location_prefix(self):
         error = errors.ParseError("bad token", line=3, column=7)

@@ -171,6 +171,18 @@ class TestSchedulerBasics:
         report = scheduler.run()
         assert report.submitted == 1 and report.completed == 1
 
+    def test_bad_busy_until_does_not_eat_submitted_requests(self, engine):
+        # Regression: validation must precede the intake drain, so a
+        # caller can fix the argument and retry without losing work.
+        scheduler = Scheduler(n_devices=2)
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1)])
+        scheduler.submit(Request(engine=engine, database=db))
+        with pytest.raises(LobsterError, match="busy_until"):
+            scheduler.run(busy_until=[0.0])  # wrong length
+        report = scheduler.run(busy_until=[0.0, 0.0])
+        assert report.submitted == 1 and report.completed == 1
+
     def test_engines_differing_in_max_iterations_get_separate_sessions(self):
         # Same compiled program, different execution budget: coalescing
         # them through one session would run requests under the wrong

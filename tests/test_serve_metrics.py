@@ -93,8 +93,26 @@ class TestHistogram:
         assert hist.p99 == 0.0
         assert hist.mean == 0.0
 
+    def test_empty_histogram_percentiles_return_zero_never_raise(self):
+        # Regression: report paths query percentiles for every instrument
+        # ever created; an SLO class that served no traffic must render
+        # as zero, not crash the report — even for out-of-range p.
+        hist = Histogram("h")
+        for p in (0, 0.5, 50, 95, 99, 100, 101, -3):
+            assert hist.percentile(p) == 0.0
+        assert hist.p50 == hist.p95 == hist.p99 == 0.0
+        assert "empty" in repr(hist)
+
+    def test_empty_histogram_renders_in_report(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.latency_s.batch")  # created, never fed
+        report = registry.render("serve metrics")
+        assert "serve.latency_s.batch" in report
+        assert "(empty)" in report
+
     def test_percentile_validates_range(self):
         hist = Histogram("h")
+        hist.observe(1.0)
         with pytest.raises(ValueError):
             hist.percentile(0)
         with pytest.raises(ValueError):
