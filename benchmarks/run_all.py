@@ -96,8 +96,9 @@ def main() -> int:
         "--tiny",
         action="store_true",
         help=(
-            "set LOBSTER_SCALEOUT_TINY=1, LOBSTER_SERVE_TINY=1, and "
-            "LOBSTER_STREAM_TINY=1 (CI smoke sizes)"
+            "set LOBSTER_SCALEOUT_TINY=1, LOBSTER_SERVE_TINY=1, "
+            "LOBSTER_STREAM_TINY=1, and LOBSTER_PLANNER_TINY=1 "
+            "(CI smoke sizes)"
         ),
     )
     args = parser.parse_args()
@@ -114,6 +115,7 @@ def main() -> int:
         env["LOBSTER_SCALEOUT_TINY"] = "1"
         env["LOBSTER_SERVE_TINY"] = "1"
         env["LOBSTER_STREAM_TINY"] = "1"
+        env["LOBSTER_PLANNER_TINY"] = "1"
 
     rows: list[tuple[str, str, str, int]] = []
     all_ok = True

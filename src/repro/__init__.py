@@ -19,7 +19,14 @@ Public API highlights:
   the engine's DRed-style maintain path, live subscriptions, and the
   :class:`repro.StreamScheduler` tick path on the serve clock.
 * :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
-  content-addressed compile-once cache behind every engine construction.
+  content-addressed compile-once cache behind every engine construction,
+  keyed on (program, stats-bucket) so each observed data shape gets its
+  own cost-based plan.
+* :mod:`repro.stats` — live relation statistics (KMV distinct + count-min
+  frequency sketches), the cardinality estimator and exchange-aware cost
+  model behind the planner, and the plan-feedback loop that re-optimizes
+  adaptive engines (``LobsterEngine(adaptive=True)``) when cardinalities
+  drift.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
   differentiable).
 * :mod:`repro.baselines` — Scallop/Soufflé/ProbLog/FVLog stand-ins.
@@ -53,6 +60,12 @@ from .runtime.cache import (
 from .runtime.database import Database
 from .runtime.engine import ExecutionResult, LobsterEngine
 from .runtime.session import LobsterSession, SessionReport
+from .stats import (
+    CostModel,
+    PlanFeedback,
+    RelationStats,
+    StatsCatalog,
+)
 from .serve import (
     AdmissionController,
     LoadGenerator,
@@ -75,12 +88,13 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "AdmissionController",
     "CompileError",
     "CompiledProgram",
+    "CostModel",
     "Database",
     "DeviceOutOfMemory",
     "DevicePool",
@@ -103,7 +117,9 @@ __all__ = [
     "MaterializedView",
     "OptimizationConfig",
     "ParseError",
+    "PlanFeedback",
     "ProgramCache",
+    "RelationStats",
     "RelationStream",
     "ResolutionError",
     "RetractionUnsupportedError",
@@ -111,6 +127,7 @@ __all__ = [
     "SessionReport",
     "SlidingWindow",
     "StaleViewError",
+    "StatsCatalog",
     "StratificationError",
     "StreamReport",
     "StreamScheduler",

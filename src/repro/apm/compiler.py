@@ -43,6 +43,10 @@ class Variant:
     #: The DRed over-delete loop keys on this to execute only variants
     #: whose frontier relation actually gained doomed rows.
     frontier: tuple[str, str] | None = None
+    #: Owning rule's plan key (``s<i>r<j>``) — how the interpreter's
+    #: cardinality feedback lines observed firings up with the planner's
+    #: per-rule estimates.
+    rule_key: str | None = None
 
 
 @dataclass
@@ -172,6 +176,11 @@ class ApmCompiler:
                             rederive_filters.setdefault(scan_index, []).append(
                                 (scan_col, head_col)
                             )
+                plan_key = f"s{stratum_index}r{rule_index}"
+                for variant in variants + delta_variants:
+                    variant.rule_key = plan_key
+                if rederive_variant is not None:
+                    rederive_variant.rule_key = plan_key
                 rules.append(
                     CompiledRule(
                         rule.target,

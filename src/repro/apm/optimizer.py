@@ -38,7 +38,11 @@ def _optimize_variant(variant: Variant) -> Variant:
     instructions = _fuse_projections(list(variant.instructions))
     instructions = _eliminate_dead(instructions)
     return Variant(
-        instructions, variant.result, variant.recent_scan, variant.frontier
+        instructions,
+        variant.result,
+        variant.recent_scan,
+        variant.frontier,
+        rule_key=variant.rule_key,
     )
 
 

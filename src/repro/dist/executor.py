@@ -48,6 +48,7 @@ from ..provenance.base import Provenance
 from ..runtime.database import Database
 from ..runtime.relation import StoredRelation, dedup_table
 from ..runtime.table import Table
+from ..stats.feedback import PlanFeedback
 
 
 class ShardView:
@@ -107,12 +108,19 @@ class ShardedExecutor:
 
     # ------------------------------------------------------------------
 
-    def run(self, program: ApmProgram, database: Database) -> None:
+    def run(
+        self, program: ApmProgram, database: Database, feedback=None
+    ) -> None:
         """Execute ``program`` to fix point against ``database``.
 
         The database's relations are replaced by the (identical-on-all-
         shards) sharded result, so downstream queries, probabilities, and
         gradients read it exactly as after a single-device run.
+
+        ``feedback`` (a :class:`~repro.stats.PlanFeedback`) receives the
+        per-shard derived-row counts from the exchange loop plus each
+        interpreter's per-rule output cardinalities — the sharded half of
+        the adaptive planner's estimate-vs-observation loop.
         """
         if program.has_negation:
             raise LobsterError(
@@ -131,17 +139,49 @@ class ShardedExecutor:
         database.finalize()
         views = self._make_views(program, database)
         transfers = cached_plan(program, self.enable_stratum_scheduling)
-        for index, stratum in enumerate(program.strata):
-            for shard in range(self.n_shards):
-                self.interpreters[shard]._charge_transfers(
-                    transfers.get(index, ()), views[shard], to_device=True
+        # Each shard records into a private feedback: a shard's largest
+        # firing is ~1/N of the rule's global output, so comparing it
+        # against the whole-program estimates would inflate drift ~Nx
+        # and trigger spurious re-planning.  Per-shard actuals are
+        # summed into the caller's feedback after the run.
+        shard_feedbacks = (
+            [PlanFeedback() for _ in self.interpreters]
+            if feedback is not None
+            else None
+        )
+        for interpreter, local in zip(
+            self.interpreters, shard_feedbacks or [None] * self.n_shards
+        ):
+            interpreter.feedback = local
+        try:
+            for index, stratum in enumerate(program.strata):
+                for shard in range(self.n_shards):
+                    self.interpreters[shard]._charge_transfers(
+                        transfers.get(index, ()), views[shard], to_device=True
+                    )
+                    self.interpreters[shard].begin_stratum()
+                self._run_stratum(stratum, program, views, feedback)
+                for shard in range(self.n_shards):
+                    self.interpreters[shard]._charge_transfers(
+                        transfers.get(index, ()), views[shard], to_device=False
+                    )
+        finally:
+            for interpreter in self.interpreters:
+                interpreter.feedback = None
+        if feedback is not None and shard_feedbacks is not None:
+            # Sum the shards' per-rule peaks (the per-shard maxima may
+            # come from different iterations, so this upper-bounds the
+            # true global peak firing — the right bias for a drift
+            # signal that must not under-report).
+            keys = {key for local in shard_feedbacks for key in local.rule_actuals}
+            for key in keys:
+                feedback.record_rule(
+                    key,
+                    sum(local.rule_actuals.get(key, 0) for local in shard_feedbacks),
                 )
-                self.interpreters[shard].begin_stratum()
-            self._run_stratum(stratum, program, views)
-            for shard in range(self.n_shards):
-                self.interpreters[shard]._charge_transfers(
-                    transfers.get(index, ()), views[shard], to_device=False
-                )
+            for local in shard_feedbacks:
+                for name, rows in local.instruction_rows.items():
+                    feedback.record_instruction(name, rows)
         # Shard 0's replica is the authoritative result (all identical).
         for name, rel in views[0].relations.items():
             database.relations[name] = rel
@@ -159,7 +199,7 @@ class ShardedExecutor:
             view = ShardView(database.schemas, database.provenance)
             views.append(view)
         for name, rel in database.relations.items():
-            for view in views:
+            for index, view in enumerate(views):
                 clone = StoredRelation(name, rel.dtypes, database.provenance)
                 clone.full = rel.full
                 # Preserve the mask state (stratum seeding overwrites it
@@ -168,6 +208,15 @@ class ShardedExecutor:
                 # run exactly as a single-device run leaves them.
                 clone.recent_mask = rel.recent_mask.copy()
                 clone.changed_mask = rel.changed_mask.copy()
+                if index == 0:
+                    # Shard 0's replica becomes the database's relation
+                    # after the run, so it inherits (moves, not copies —
+                    # exactly one owner) the master's incremental stats:
+                    # its advances keep them current, and an adaptive
+                    # engine's next stats_catalog() call stays O(1)
+                    # instead of re-summarizing every relation.
+                    clone._stats = rel._stats
+                    rel._stats = None
                 view.relations[name] = clone
         return views
 
@@ -176,6 +225,7 @@ class ShardedExecutor:
         stratum: CompiledStratum,
         program: ApmProgram,
         views: list[ShardView],
+        feedback=None,
     ) -> None:
         n = self.n_shards
         provenance = views[0].provenance
@@ -214,6 +264,10 @@ class ShardedExecutor:
                     Table.concat(deltas[predicate], dtypes, provenance)
                     for deltas in shard_deltas
                 ]
+                if feedback is not None:
+                    for shard, table in enumerate(local):
+                        if table.n_rows:
+                            feedback.record_shard(shard, table.n_rows)
                 # Route every derived row to its owner; ⊕-merge there.
                 owned = self.exchange.shuffle(local, dtypes, provenance)
                 merged = [dedup_table(table, provenance) for table in owned]

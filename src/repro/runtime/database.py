@@ -37,6 +37,7 @@ from .relation import StoredRelation
 from .table import Table
 from ..errors import ResolutionError
 from ..provenance.base import Provenance
+from ..stats.relation_stats import StatsCatalog
 
 
 class Database:
@@ -342,6 +343,18 @@ class Database:
         self.evaluated = False
 
     # ------------------------------------------------------------------
+
+    def stats_catalog(self) -> StatsCatalog:
+        """Planner statistics for every materialized relation.
+
+        Enables incremental stats maintenance on each relation (a no-op
+        after the first call), so the catalog's
+        :class:`~repro.stats.RelationStats` entries stay current as runs
+        advance the relations.  Before the first run the catalog holds
+        EDB relations only; afterwards it includes observed IDB
+        cardinalities — the feedback the adaptive planner re-plans from.
+        """
+        return StatsCatalog.from_database(self)
 
     def total_bytes(self) -> int:
         return sum(rel.nbytes() for rel in self.relations.values())

@@ -59,6 +59,8 @@ from ..errors import LobsterError, RetractionUnsupportedError
 from ..gpu.device import DeviceProfile, VirtualDevice
 from ..provenance import registry
 from ..provenance.base import Provenance
+from ..stats.estimate import CostModel
+from ..stats.feedback import PlanFeedback
 
 __all__ = [
     "ExecutionResult",
@@ -110,6 +112,12 @@ class ExecutionResult:
     #: Per-shard device profiles for a sharded run (``profile`` is their
     #: counter-wise :meth:`~repro.gpu.device.DeviceProfile.merge`).
     shard_profiles: list[DeviceProfile] | None = None
+    #: Observed-vs-estimated cardinalities for this run (adaptive
+    #: engines; None when feedback collection was off).
+    feedback: PlanFeedback | None = None
+    #: Whether this run executed under a different compiled plan than
+    #: the engine's previous run (the adaptive re-planning path).
+    replanned: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -172,6 +180,8 @@ class LobsterEngine:
         cache: ProgramCache | None | bool = None,
         shards: int = 1,
         shard_devices: list[VirtualDevice] | None = None,
+        adaptive: bool = False,
+        replan_drift: float = 8.0,
         **provenance_kwargs,
     ):
         """``cache=None`` (default) uses the process-wide program cache;
@@ -185,6 +195,18 @@ class LobsterEngine:
         run; programs with negation transparently fall back to the
         single device.  ``shard_devices`` supplies the pool explicitly
         (its length overrides ``shards``).
+
+        ``adaptive=True`` turns on statistics-driven re-planning: every
+        run snapshots the database's stats catalog, fetches (or compiles)
+        the cost-based plan for that catalog's bucket from the program
+        cache, and records observed cardinalities into
+        :attr:`ExecutionResult.feedback`.  When a full run's observed
+        rule outputs drift more than ``replan_drift``x from the plan's
+        estimates, the cached artifact is invalidated so the next run —
+        whose catalog now includes the observed intermediate sizes —
+        re-plans.  Results are always bitwise identical to the static
+        plan; only operator order changes.  Requires a real program
+        cache (``cache=False`` is rejected).
         """
         self.source = source
         self.batched = batched
@@ -213,14 +235,31 @@ class LobsterEngine:
         if cache is None or cache is True:
             cache = default_cache()
         if cache is False:
+            if adaptive:
+                raise LobsterError(
+                    "adaptive re-planning keys plans in a ProgramCache; "
+                    "pass cache=None (process default) or a ProgramCache"
+                )
             compiled = compile_source(
                 source, self.provenance_name, self.optimizations, batched
             )
             cache_hit = False
+            self._program_cache: ProgramCache | None = None
         else:
             compiled, cache_hit = cache.get_or_compile(
                 source, self.provenance_name, self.optimizations, batched
             )
+            self._program_cache = cache
+        self.adaptive = adaptive
+        self.replan_drift = replan_drift
+        #: Cache key of the plan the previous run executed (adaptive).
+        self._last_plan_key: str | None = None
+        #: Plan keys already invalidated for drift once: a second drift
+        #: report for the same key means the re-planned artifact (same
+        #: bucket, fresher catalog) still mis-estimates — structural
+        #: estimator error, not stale statistics — so repeating the
+        #: invalidate/recompile cycle would thrash the cache forever.
+        self._drift_invalidated: set[str] = set()
         self.compiled: CompiledProgram = compiled
         self.cache_hit = cache_hit
         #: Front-end seconds paid by *this* construction (0.0 on a hit).
@@ -367,6 +406,33 @@ class LobsterEngine:
         against complete relations, so the engine falls back)."""
         return self.shards > 1 and not self.apm.has_negation
 
+    def _select_plan(self, database: Database) -> CompiledProgram:
+        """The artifact this run executes: the engine's compile-time plan
+        or, adaptive, the cost-based plan for the database's current
+        statistics bucket (compiled once per bucket via the cache)."""
+        if not self.adaptive or self._program_cache is None:
+            return self.compiled
+        if not database.evaluated and not database.has_pending_retractions:
+            # Cold database: loading the EDB now is safe (no warm-path
+            # bookkeeping depends on pending deltas yet) and gives the
+            # planner real input statistics for the very first run.
+            database.finalize()
+        catalog = database.stats_catalog()
+        if not catalog:
+            return self.compiled
+        cost_model = CostModel.for_shards(
+            self.shards if self._use_sharded() else 1
+        )
+        compiled, _hit = self._program_cache.get_or_compile(
+            self.source,
+            self.provenance_name,
+            self.optimizations,
+            self.batched,
+            stats=catalog,
+            cost_model=cost_model,
+        )
+        return compiled
+
     def run(
         self,
         database: Database,
@@ -396,17 +462,83 @@ class LobsterEngine:
         be taken; ``maintain=False`` forces the fallback.  Either way the
         results match a cold evaluation of the surviving facts.
 
+        An *adaptive* engine first routes the run through the plan for
+        the database's statistics bucket (:meth:`_select_plan`), attaches
+        observed cardinalities as :attr:`ExecutionResult.feedback`, and —
+        when a full run drifts past ``replan_drift`` — invalidates the
+        cached plan so the next run re-optimizes.  Every plan computes
+        identical results; adaptivity only moves operator order.
+
         ``reset_profile=False`` accumulates device counters instead of
         zeroing them (used by sessions sharing one device); the returned
         profile still covers only this run.
         """
+        active = self._select_plan(database)
+        feedback: PlanFeedback | None = None
+        replanned = False
+        if self.adaptive:
+            feedback = PlanFeedback(
+                stats_bucket=active.stats_bucket,
+                rule_estimates=dict(active.rule_estimates),
+            )
+            previous = self._last_plan_key or self.compiled.key
+            replanned = active.key != previous
+            self._last_plan_key = active.key
         if self._use_sharded() and _interpreter is None:
-            return self._run_sharded(
+            result = self._run_sharded(
                 database,
+                apm=active.apm,
+                feedback=feedback,
                 incremental=incremental,
                 maintain=maintain,
                 reset_profile=reset_profile,
             )
+        else:
+            result = self._run_single(
+                database,
+                apm=active.apm,
+                feedback=feedback,
+                incremental=incremental,
+                maintain=maintain,
+                reset_profile=reset_profile,
+                _interpreter=_interpreter,
+            )
+        if feedback is not None:
+            feedback.relation_rows = {
+                name: rel.n_facts() for name, rel in database.relations.items()
+            }
+            result.feedback = feedback
+            result.replanned = replanned
+            if (
+                active.stats_bucket is not None
+                and not result.incremental
+                and not result.maintained
+                and self._program_cache is not None
+                and active.key not in self._drift_invalidated
+                and feedback.should_replan(self.replan_drift)
+            ):
+                # The plan's estimates no longer describe the data; drop
+                # the artifact so the next lookup re-plans against a
+                # catalog that now includes observed cardinalities.  At
+                # most once per plan key: if the re-planned artifact
+                # drifts again, recompiling cannot help (the bucket is
+                # unchanged), and a hot serving path must not pay a full
+                # recompile per batch.
+                self._drift_invalidated.add(active.key)
+                self._program_cache.invalidate(active.key)
+        return result
+
+    def _run_single(
+        self,
+        database: Database,
+        *,
+        apm: ApmProgram,
+        feedback: PlanFeedback | None,
+        incremental: bool | None,
+        maintain: bool | None,
+        reset_profile: bool,
+        _interpreter: ApmInterpreter | None,
+    ) -> ExecutionResult:
         device = _interpreter.device if _interpreter is not None else self.device
         if reset_profile:
             device.profile.reset()
@@ -464,11 +596,15 @@ class LobsterEngine:
             max_iterations=self.max_iterations,
         )
         iterations_before = interpreter.iterations_run
+        interpreter.feedback = feedback
         start = time.perf_counter()
-        if run_maintain:
-            interpreter.maintain(self.apm, database)
-        else:
-            interpreter.run(self.apm, database, incremental=run_incremental)
+        try:
+            if run_maintain:
+                interpreter.maintain(apm, database)
+            else:
+                interpreter.run(apm, database, incremental=run_incremental)
+        finally:
+            interpreter.feedback = None
         wall = time.perf_counter() - start
         database.evaluated = True
         # The result always carries its own per-run counter copy — the
@@ -493,6 +629,8 @@ class LobsterEngine:
         self,
         database: Database,
         *,
+        apm: ApmProgram,
+        feedback: PlanFeedback | None = None,
         incremental: bool | None,
         maintain: bool | None = None,
         reset_profile: bool,
@@ -543,7 +681,7 @@ class LobsterEngine:
         befores = [d.profile.snapshot() for d in self.shard_devices]
         iterations_before = executor.iterations_run
         start = time.perf_counter()
-        executor.run(self.apm, database)
+        executor.run(apm, database, feedback=feedback)
         wall = time.perf_counter() - start
         database.evaluated = True
         shard_profiles = [

@@ -1,0 +1,184 @@
+"""Per-relation statistics, maintained incrementally by the storage layer.
+
+A :class:`RelationStats` summarizes one stored relation's ``full`` table:
+exact row count, per-column min/max, a KMV distinct-count sketch, and a
+count-min frequency sketch per column.  The summaries are chosen so the
+*incremental* maintenance the storage layer performs is bitwise equal to
+recomputing from scratch (`tests/test_stats.py` property-checks this):
+
+* :meth:`RelationStats.observe_added` folds the rows an
+  :meth:`~repro.runtime.relation.StoredRelation.advance` actually *added*
+  (brand-new facts — tag-improved duplicates contribute no new rows to
+  ``full``) — insert-only updates are exactly mergeable for every field;
+* retractions (:meth:`~repro.runtime.relation.StoredRelation.remove_rows`)
+  rebuild via :meth:`RelationStats.from_table` — min/max and KMV cannot
+  shrink incrementally, and the retraction path is already O(n).
+
+Statistics are **opt-in per relation** (:meth:`StoredRelation.enable_stats
+<repro.runtime.relation.StoredRelation.enable_stats>`): until something
+asks for them — the adaptive planner, a stats catalog — the storage hot
+path pays nothing.
+
+A :class:`StatsCatalog` is the planner's read view: a name-keyed snapshot
+of relation statistics plus the *bucket key* that content-addresses
+compiled plans.  Buckets quantize row and distinct counts to powers of
+two, so serving traffic with per-request databases of similar shape maps
+to one compiled plan, while order-of-magnitude drift — the signal that a
+chosen join order is stale — lands in a fresh bucket and triggers a
+re-plan through the ordinary program-cache lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .sketches import CountMinSketch, KmvSketch
+
+__all__ = ["ColumnStats", "RelationStats", "StatsCatalog", "log2_bucket"]
+
+
+def log2_bucket(count: float) -> int:
+    """Quantize a cardinality to its power-of-two bucket."""
+    return int(math.floor(math.log2(count + 1.0)))
+
+
+class ColumnStats:
+    """Summary of one value column: range, distinct count, frequencies."""
+
+    def __init__(self) -> None:
+        self.min: float | None = None
+        self.max: float | None = None
+        self.kmv = KmvSketch()
+        self.cms = CountMinSketch()
+        #: Whether the summarized column holds floats — probes must be
+        #: coerced to the column's dtype before hashing (int64 and
+        #: float64 views of the same number hash differently).
+        self.float_values = False
+
+    @classmethod
+    def from_column(cls, values: np.ndarray) -> "ColumnStats":
+        stats = cls()
+        stats.add(values)
+        return stats
+
+    def add(self, values: np.ndarray) -> None:
+        if len(values) == 0:
+            return
+        self.float_values = values.dtype.kind == "f"
+        lo, hi = float(values.min()), float(values.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+        self.kmv.add(values)
+        self.cms.add(values)
+
+    @property
+    def n_distinct(self) -> float:
+        return self.kmv.estimate()
+
+    def skew(self) -> float:
+        """Fraction of rows carried by the (estimated) heaviest value —
+        1.0 means one value dominates, ~1/n_distinct means uniform."""
+        if self.cms.total == 0:
+            return 0.0
+        return self.cms.max_frequency() / self.cms.total
+
+    def coerce(self, value):
+        """Map a probe constant onto the column's value domain; None
+        when no stored value can equal it (e.g. 5.5 on an int column).
+        """
+        if self.float_values:
+            return float(value)
+        if isinstance(value, float) and value != int(value):
+            return None
+        return int(value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnStats)
+            and self.min == other.min
+            and self.max == other.max
+            and self.float_values == other.float_values
+            and self.kmv == other.kmv
+            and self.cms == other.cms
+        )
+
+
+class RelationStats:
+    """Row count plus per-column :class:`ColumnStats` for one relation."""
+
+    def __init__(self, arity: int) -> None:
+        self.row_count = 0
+        self.columns = [ColumnStats() for _ in range(arity)]
+
+    @classmethod
+    def from_table(cls, table) -> "RelationStats":
+        """Recompute from a :class:`~repro.runtime.table.Table` (the
+        from-scratch reference the incremental path must match)."""
+        stats = cls(table.arity)
+        stats.observe_added(table.columns, table.n_rows)
+        return stats
+
+    def observe_added(self, columns: list[np.ndarray], n_rows: int) -> None:
+        """Fold ``n_rows`` newly *added* rows in (insert-only update)."""
+        if n_rows == 0:
+            return
+        self.row_count += n_rows
+        for stats, column in zip(self.columns, columns):
+            stats.add(column)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def bucket(self) -> str:
+        """This relation's plan bucket: log2 row count plus per-column
+        log2 distinct counts.  Deterministic (KMV is), and coarse enough
+        that same-shape serving databases share one compiled plan."""
+        cols = ",".join(str(log2_bucket(c.n_distinct)) for c in self.columns)
+        return f"{log2_bucket(self.row_count)}[{cols}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationStats)
+            and self.row_count == other.row_count
+            and self.columns == other.columns
+        )
+
+
+@dataclass
+class StatsCatalog:
+    """The planner's snapshot of per-relation statistics.
+
+    Built from a finalized database; EDB relations are populated, and IDB
+    relations appear once a prior run has materialized them — which is
+    exactly the feedback loop: the first plan sees input sizes only,
+    re-plans after execution see observed intermediate cardinalities too.
+    """
+
+    relations: dict[str, RelationStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_database(cls, database) -> "StatsCatalog":
+        """Snapshot ``database``'s relations, enabling incremental stats
+        maintenance on each (subsequent advances keep them current)."""
+        catalog = cls()
+        for name, rel in database.relations.items():
+            catalog.relations[name] = rel.enable_stats()
+        return catalog
+
+    def get(self, name: str) -> RelationStats | None:
+        return self.relations.get(name)
+
+    def __bool__(self) -> bool:
+        return any(stats.row_count for stats in self.relations.values())
+
+    def bucket_key(self) -> str:
+        """Content-address for plan caching: relation name -> bucket,
+        sorted by name so dict order never leaks into cache keys."""
+        return ";".join(
+            f"{name}:{stats.bucket()}"
+            for name, stats in sorted(self.relations.items())
+        )

@@ -1,0 +1,178 @@
+"""Small, deterministic, *mergeable* sketches backing per-column statistics.
+
+Two classic streaming summaries, chosen so that incremental maintenance is
+**exactly** equal to recomputation from scratch (the property the stats
+test-suite checks with hypothesis):
+
+* :class:`KmvSketch` — a k-minimum-values distinct-count estimator.  The
+  sketch keeps the ``k`` smallest 64-bit hashes of the values seen.  For
+  any split of a value multiset into batches, folding the batches in one
+  at a time yields the same sketch as hashing the union (the k smallest
+  of a union is the k smallest of the per-part minima), so insert-order
+  never matters.  Below ``k`` distinct values the count is *exact*.
+* :class:`CountMinSketch` — a linear frequency sketch (depth x width
+  counters).  Linearity means ``cms(A) + cms(B) == cms(A ⊎ B)`` counter
+  for counter, so adds (and, in principle, signed deletes) commute with
+  recomputation.  Point queries over-estimate only; the inner product of
+  two column sketches upper-bounds — and on realistic data tracks — the
+  equi-join size on that column, which is how the cost-based planner
+  prices skewed joins without scanning data.
+
+Hashing uses the same splitmix64 finalizer as :mod:`repro.dist.partition`
+(the repo's deterministic cross-platform row hash), restated here rather
+than imported — ``dist`` sits above the runtime in the import graph and
+the storage layer feeds these sketches.  Float columns hash their
+IEEE-754 bits with ``-0.0`` canonicalized, matching the partitioner's
+convention so value-equal rows always agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CountMinSketch", "KmvSketch", "hash_values"]
+
+#: Distinct hashes retained by a KMV sketch.  Exact up to this many
+#: distinct values; ~1/sqrt(k-1) (~9%) relative standard error beyond.
+DEFAULT_KMV_K = 128
+#: Count-min geometry: small enough to keep advance() cheap, wide enough
+#: that heavy hitters dominate their buckets on the workloads we serve.
+DEFAULT_CMS_WIDTH = 256
+DEFAULT_CMS_DEPTH = 2
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix64(bits: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (same constants as the sharded
+    executor's row hash)."""
+    with np.errstate(over="ignore"):
+        z = bits + _SPLITMIX_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+#: Per-row hash seeds for the CMS depth dimension (arbitrary odd salts).
+_CMS_SEEDS = (
+    np.uint64(0x9E3779B97F4A7C15),
+    np.uint64(0xC2B2AE3D27D4EB4F),
+    np.uint64(0x165667B19E3779F9),
+    np.uint64(0x27D4EB2F165667C5),
+)
+
+
+def hash_values(values: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit hash per element of one column."""
+    values = np.asarray(values)
+    if values.dtype.kind == "f":
+        bits = (values.astype(np.float64) + 0.0).view(np.uint64)
+    else:
+        bits = values.astype(np.int64).view(np.uint64)
+    return _mix64(bits)
+
+
+class KmvSketch:
+    """K-minimum-values distinct-count estimator (insert-mergeable)."""
+
+    def __init__(self, k: int = DEFAULT_KMV_K):
+        self.k = k
+        #: Sorted unique hashes, at most ``k`` of them — the k smallest
+        #: seen so far.
+        self.mins = np.empty(0, dtype=np.uint64)
+        #: Whether the sketch ever overflowed ``k`` (estimation mode).
+        self.saturated = False
+
+    def add(self, values: np.ndarray) -> None:
+        if len(values) == 0:
+            return
+        hashes = np.unique(hash_values(values))
+        merged = np.unique(np.concatenate([self.mins, hashes]))
+        if len(merged) > self.k:
+            self.saturated = True
+            merged = merged[: self.k]
+        self.mins = merged
+
+    def estimate(self) -> float:
+        """Estimated distinct count; exact while unsaturated."""
+        if not self.saturated:
+            return float(len(self.mins))
+        # Classic KMV: (k - 1) / normalized k-th minimum.
+        kth = float(self.mins[-1]) + 1.0
+        return (self.k - 1) / (kth / 2.0**64)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KmvSketch)
+            and self.k == other.k
+            and self.saturated == other.saturated
+            and np.array_equal(self.mins, other.mins)
+        )
+
+
+class CountMinSketch:
+    """Linear count-min frequency sketch over one column's values."""
+
+    def __init__(self, width: int = DEFAULT_CMS_WIDTH, depth: int = DEFAULT_CMS_DEPTH):
+        if depth > len(_CMS_SEEDS):
+            raise ValueError(f"depth must be <= {len(_CMS_SEEDS)}")
+        self.width = width
+        self.depth = depth
+        self.counts = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    def _buckets(self, values: np.ndarray, row: int) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            salted = hash_values(values) * _CMS_SEEDS[row] + _CMS_SEEDS[row]
+        return (_mix64(salted) % np.uint64(self.width)).astype(np.int64)
+
+    def add(self, values: np.ndarray, sign: int = 1) -> None:
+        """Fold values in (``sign=-1`` removes previously added values —
+        linearity makes the subtraction exact)."""
+        n = len(values)
+        if n == 0:
+            return
+        for row in range(self.depth):
+            self.counts[row] += sign * np.bincount(
+                self._buckets(values, row), minlength=self.width
+            )
+        self.total += sign * n
+
+    def count(self, value) -> int:
+        """Point estimate of one value's frequency (never undercounts)."""
+        single = np.asarray([value])
+        return int(
+            min(
+                self.counts[row][self._buckets(single, row)[0]]
+                for row in range(self.depth)
+            )
+        )
+
+    def inner_product(self, other: "CountMinSketch") -> float:
+        """Estimated equi-join size between the two columns (the classic
+        CMS join-size estimator: min over depths of the bucket-wise dot
+        product).  Never undercounts; captures skew that distinct-count
+        formulas miss — a shared heavy hitter multiplies out."""
+        if self.width != other.width or self.depth != other.depth:
+            raise ValueError("inner_product requires identical CMS geometry")
+        return float(
+            min(
+                int(np.dot(self.counts[row], other.counts[row]))
+                for row in range(self.depth)
+            )
+        )
+
+    def max_frequency(self) -> int:
+        """Upper bound on the most frequent value's count (skew signal)."""
+        if self.total == 0:
+            return 0
+        return int(min(self.counts[row].max() for row in range(self.depth)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CountMinSketch)
+            and self.width == other.width
+            and self.depth == other.depth
+            and self.total == other.total
+            and np.array_equal(self.counts, other.counts)
+        )

@@ -31,6 +31,57 @@ class TestTable:
         table = Table.empty(INT2, unit_provenance())
         assert table.is_empty() and table.arity == 2
 
+    def test_from_rows_empty_and_mixed_dtypes(self):
+        provenance = unit_provenance()
+        empty = Table.from_rows([], INT2, provenance.one_tags(0))
+        assert empty.is_empty() and empty.arity == 2
+        mixed = Table.from_rows(
+            [(1, 0.5), (2, 1.5)],
+            (np.dtype(np.int64), np.dtype(np.float64)),
+            provenance.one_tags(2),
+        )
+        assert mixed.rows() == [(1, 0.5), (2, 1.5)]
+        assert mixed.columns[0].dtype == np.int64
+        assert mixed.columns[1].dtype == np.float64
+
+    def test_from_rows_vectorized_beats_per_cell_loop(self):
+        """Micro-benchmark: the per-column ``np.fromiter`` construction
+        must beat the historical per-cell Python double loop.  Best-of-3
+        each, and only a >= 1.2x bar, so scheduler noise cannot flake the
+        assertion while a regression back to per-cell writes still fails.
+        """
+        import time
+
+        def naive(rows, dtypes):
+            columns = [np.empty(len(rows), dtype=dt) for dt in dtypes]
+            for j in range(len(dtypes)):
+                for i, row in enumerate(rows):
+                    columns[j][i] = row[j]
+            return columns
+
+        provenance = unit_provenance()
+        rows = [(i, i * 2, i % 7) for i in range(120_000)]
+        dtypes = (np.dtype(np.int64),) * 3
+        tags = provenance.one_tags(len(rows))
+
+        def best_of(fn, n=3):
+            times = []
+            for _ in range(n):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        fast = best_of(lambda: Table.from_rows(rows, dtypes, tags))
+        slow = best_of(lambda: naive(rows, dtypes))
+        assert fast * 1.2 < slow, (
+            f"vectorized from_rows ({fast:.4f}s) should beat the "
+            f"per-cell loop ({slow:.4f}s)"
+        )
+        # And it still builds the same table.
+        table = Table.from_rows(rows[:5], dtypes, provenance.one_tags(5))
+        assert table.rows() == rows[:5]
+
     def test_take(self):
         provenance = unit_provenance()
         table = Table.from_rows([(1, 2), (3, 4), (5, 6)], INT2, provenance.one_tags(3))
