@@ -1,0 +1,91 @@
+"""Durable streaming views: checkpoint + WAL replay across a crash.
+
+A standing transitive-closure query is maintained over a sliding window
+of probabilistic edges, with every tick routed through a
+RecoveryManager: the tick delta is appended to a CRC-framed write-ahead
+log *before* it is applied, and every few ticks the full state
+(database, view, window, subscription cursors) is snapshotted into an
+atomically swapped checkpoint.  Halfway through we "kill the process" —
+simply abandon every in-memory object — and ``recover()`` rebuilds the
+view from the newest checkpoint plus a verified replay of the WAL tail.
+The recovered run finishes the stream and lands on exactly the state an
+uninterrupted run would have produced; the named subscription resumes
+from its durable cursor without losing or re-seeing a single delta.
+
+Run:  PYTHONPATH=src python examples/durable_streaming.py
+"""
+
+import tempfile
+
+from repro import LobsterEngine, MaterializedView, RecoveryManager, recover
+from repro.stream import RelationStream, SlidingWindow
+
+PROGRAM = """
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+query path
+"""
+
+EDGES = [(i, i + 1) for i in range(12)] + [(0, 5), (3, 9), (2, 7)]
+
+
+def setup():
+    """Engine + feed for one incarnation of the process.  The feed is a
+    deterministic function of the tick (seeded), which is what lets
+    recovery *verify* the WAL against the source during replay."""
+    engine = LobsterEngine(PROGRAM, provenance="minmaxprob")
+    stream = RelationStream("edge", EDGES, per_tick=3, seed=7,
+                            prob_range=(0.5, 0.95))
+    return engine, SlidingWindow(stream, size=4)
+
+
+state_dir = tempfile.mkdtemp(prefix="lobster-durable-")
+print(f"durable state in {state_dir}")
+
+# ----- first incarnation: run 5 ticks, checkpoint every 3, then "die".
+engine, feed = setup()
+view = MaterializedView(engine, name="tc")
+manager = RecoveryManager(state_dir, checkpoint_every=3)
+manager.register("tc", view, feed)
+
+consumer = view.subscribe(name="dashboard")
+for _ in range(5):
+    manager.apply("tc", feed.advance())
+seen = [delta.tick for delta in consumer.poll()]  # cursor logged durably
+print(f"incarnation 1: applied {view.ticks_applied} ticks, "
+      f"consumer saw deltas {seen}")
+
+del engine, feed, view, manager, consumer  # kill -9
+
+# ----- second incarnation: recover and finish the stream.
+manager, views, info = recover(state_dir, {"tc": setup()})
+view = views["tc"]
+print(f"recovered from checkpoint {info.checkpoint_seq}: "
+      f"replayed {info.replayed_deltas} WAL deltas "
+      f"({info.truncated_bytes} torn bytes truncated), "
+      f"view back at tick {view.ticks_applied}")
+
+consumer = view.resubscribe("dashboard")  # durable cursor, exactly-once
+feed = manager.entry("tc").feed
+for _ in range(5):
+    manager.apply("tc", feed.advance())
+seen += [delta.tick for delta in consumer.poll()]
+assert seen == list(range(10)), "no delta lost, none duplicated"
+print(f"incarnation 2: finished at tick {view.ticks_applied}, "
+      f"consumer saw every delta exactly once: {seen}")
+
+# ----- the uninterrupted reference: bitwise-identical results.
+ref_engine, ref_feed = setup()
+reference = MaterializedView(ref_engine, name="tc")
+for _ in range(10):
+    reference.apply(ref_feed.advance())
+assert view.result("path") == reference.result("path")
+print(f"recovered view == uninterrupted run: "
+      f"{len(view.result('path'))} paths, bit-identical probabilities")
+
+# The checkpoint format doubles as a database interchange.
+export = f"{state_dir}/tc.lobsterdb"
+engine2 = views["tc"].engine
+engine2.export_database(view.database, export)
+imported = LobsterEngine(PROGRAM, provenance="minmaxprob").import_database(export)
+print(f"export/import round trip: {len(imported.result('path').rows())} "
+      "derived paths preserved")

@@ -18,6 +18,11 @@ Public API highlights:
   :class:`repro.MaterializedView`\\ s kept continuously correct through
   the engine's DRed-style maintain path, live subscriptions, and the
   :class:`repro.StreamScheduler` tick path on the serve clock.
+* :mod:`repro.recovery` — durability for streaming views: CRC-framed
+  write-ahead log + atomically swapped checkpoints
+  (:class:`repro.RecoveryManager`), verified crash recovery
+  (:func:`repro.recover`), durable subscription cursors, and the
+  database export/import interchange.
 * :class:`repro.ProgramCache` / :func:`repro.default_cache` — the
   content-addressed compile-once cache behind every engine construction,
   keyed on (program, stats-bucket) so each observed data shape gets its
@@ -35,7 +40,9 @@ Public API highlights:
 """
 
 from .errors import (
+    CheckpointMismatchError,
     CompileError,
+    CorruptLogError,
     DeviceOutOfMemory,
     EvaluationTimeout,
     ExecutionError,
@@ -56,6 +63,13 @@ from .runtime.cache import (
     OptimizationConfig,
     ProgramCache,
     default_cache,
+)
+from .recovery import (
+    RecoveryInfo,
+    RecoveryManager,
+    export_database,
+    import_database,
+    recover,
 )
 from .runtime.database import Database
 from .runtime.engine import ExecutionResult, LobsterEngine
@@ -88,12 +102,14 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "AdmissionController",
+    "CheckpointMismatchError",
     "CompileError",
     "CompiledProgram",
+    "CorruptLogError",
     "CostModel",
     "Database",
     "DeviceOutOfMemory",
@@ -119,6 +135,8 @@ __all__ = [
     "ParseError",
     "PlanFeedback",
     "ProgramCache",
+    "RecoveryInfo",
+    "RecoveryManager",
     "RelationStats",
     "RelationStream",
     "ResolutionError",
@@ -140,4 +158,7 @@ __all__ = [
     "VirtualDevice",
     "__version__",
     "default_cache",
+    "export_database",
+    "import_database",
+    "recover",
 ]

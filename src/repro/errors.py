@@ -90,6 +90,33 @@ class StaleViewError(LobsterError):
     """
 
 
+class CorruptLogError(LobsterError):
+    """Raised when a durability artifact is unreadable *beyond* the
+    torn-tail case.
+
+    A write-ahead log whose final record was cut short by a crash is
+    **not** an error: recovery silently truncates the torn tail and
+    resumes from the last complete record (the live stream regenerates
+    the lost tick).  This exception covers the cases silent truncation
+    cannot repair: a checkpoint file whose CRC framing fails (checkpoints
+    are swapped in atomically, so a bad one was corrupted at rest, not
+    torn), a strict read that found trailing garbage, or a WAL record
+    that disagrees with the deterministic stream source it claims to
+    describe.
+    """
+
+
+class CheckpointMismatchError(LobsterError):
+    """Raised when a checkpoint (or exported database) is structurally
+    incompatible with the process trying to load it: a different format
+    version, a different provenance semiring than the engine's, a stream
+    name with no registered setup, or a feed whose shape (window
+    class/size) differs from the one that wrote the state.  Unlike a
+    torn log tail this is never silently recoverable — loading would
+    produce a *wrong* state rather than a merely older one.
+    """
+
+
 class SessionError(LobsterError):
     """Raised on invalid session ticket operations."""
 

@@ -1,0 +1,56 @@
+"""Durability for streaming views: checkpoints, WAL, crash recovery.
+
+The subsystem is four small layers, each testable in isolation:
+
+* :mod:`~repro.recovery.storage` — the byte-level seam (append,
+  atomic swap); the fault-injection harness substitutes it.
+* :mod:`~repro.recovery.codec` + :mod:`~repro.recovery.framing` — a
+  deterministic binary codec (bit-exact floats, numpy arrays, tuple
+  keys) under CRC32 frames with torn-tail detection.
+* :mod:`~repro.recovery.checkpoint` + :mod:`~repro.recovery.wal` —
+  atomically swapped state snapshots and the segmented record log
+  between them.
+* :mod:`~repro.recovery.manager` — :class:`RecoveryManager` (the
+  writer: WAL-then-apply, periodic checkpoints, durable cursors) and
+  :func:`recover` (the reader: newest valid checkpoint + verified
+  maintain over the WAL tail).
+
+Example — a stream that survives ``kill -9``::
+
+    manager = RecoveryManager("state/", checkpoint_every=8)
+    manager.register("tc", view, window)
+    manager.apply("tc", window.advance())      # durable tick
+    ...                                        # crash here, any time
+    manager, views, info = recover("state/", {"tc": (engine, window)})
+    views["tc"].result("path")                 # identical to pre-crash
+"""
+
+from .checkpoint import CheckpointStore, FORMAT_VERSION
+from .codec import decode, encode
+from .framing import FrameScan, frame, read_frames
+from .manager import (
+    RecoveryInfo,
+    RecoveryManager,
+    export_database,
+    import_database,
+    recover,
+)
+from .storage import LocalStorage
+from .wal import WriteAheadLog
+
+__all__ = [
+    "CheckpointStore",
+    "FORMAT_VERSION",
+    "FrameScan",
+    "LocalStorage",
+    "RecoveryInfo",
+    "RecoveryManager",
+    "WriteAheadLog",
+    "decode",
+    "encode",
+    "export_database",
+    "frame",
+    "import_database",
+    "read_frames",
+    "recover",
+]

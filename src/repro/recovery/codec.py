@@ -1,0 +1,173 @@
+"""A compact, deterministic binary codec for durability payloads.
+
+Checkpoints and WAL records are nested Python structures — dicts keyed
+by strings *and row tuples*, lists, numpy arrays (value columns, tag
+columns with structured dtypes, boolean masks), floats that must
+round-trip **bit-for-bit** (the whole point of the recovery test
+harness), and ints of arbitrary size.  JSON loses tuples, can't key
+dicts by them, and can't carry arrays without base64 bloat; pickle is
+neither stable across versions nor safe to read back from disk.  So the
+format is a small tag-length-value encoding:
+
+* scalars: ``N`` (None), ``T``/``F`` (bool), ``i`` (int64), ``n``
+  (big int, decimal utf-8), ``f`` (IEEE-754 float64 — exact), ``s``
+  (utf-8 string), ``b`` (bytes);
+* containers: ``l`` (list), ``t`` (tuple — *distinct* from list, so
+  row tuples survive a round trip and compare equal), ``d`` (dict as a
+  (key, value) pair sequence; keys may be any encodable value);
+* ``a`` — a numpy array as its ``.npy`` serialization (dtype + shape +
+  raw data; handles structured provenance-tag dtypes), read back with
+  ``allow_pickle=False`` so a corrupted or hostile payload can never
+  execute code.
+
+Everything is length-prefixed, so decoding never scans; a truncated
+buffer raises :class:`~repro.errors.CorruptLogError` (the framing layer
+above is responsible for deciding whether truncation is a torn tail to
+drop silently or a hard error).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from ..errors import CorruptLogError
+
+__all__ = ["decode", "encode"]
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _encode_into(obj, out: bytearray) -> None:
+    if obj is None:
+        out.append(ord("N"))
+    elif obj is True:
+        out.append(ord("T"))
+    elif obj is False:
+        out.append(ord("F"))
+    elif isinstance(obj, (int, np.integer)):
+        value = int(obj)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(ord("i"))
+            out += _I64.pack(value)
+        else:
+            digits = str(value).encode("ascii")
+            out.append(ord("n"))
+            out += _U32.pack(len(digits))
+            out += digits
+    elif isinstance(obj, (float, np.floating)):
+        out.append(ord("f"))
+        out += _F64.pack(float(obj))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(ord("s"))
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(obj, (bytes, bytearray)):
+        out.append(ord("b"))
+        out += _U32.pack(len(obj))
+        out += bytes(obj)
+    elif isinstance(obj, np.ndarray):
+        buffer = io.BytesIO()
+        np.save(buffer, obj, allow_pickle=False)
+        data = buffer.getvalue()
+        out.append(ord("a"))
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(obj, (list, tuple)):
+        out.append(ord("t" if isinstance(obj, tuple) else "l"))
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _encode_into(item, out)
+    elif isinstance(obj, dict):
+        out.append(ord("d"))
+        out += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _encode_into(key, out)
+            _encode_into(value, out)
+    else:
+        raise TypeError(f"codec cannot encode {type(obj).__name__!r}")
+
+
+def encode(obj) -> bytes:
+    """Serialize ``obj`` to bytes; raises TypeError on unsupported types."""
+    out = bytearray()
+    _encode_into(obj, out)
+    return bytes(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise CorruptLogError(
+                f"payload truncated: needed {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+
+def _decode_from(reader: _Reader):
+    tag = reader.take(1)
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"i":
+        return _I64.unpack(reader.take(8))[0]
+    if tag == b"n":
+        return int(reader.take(reader.u32()).decode("ascii"))
+    if tag == b"f":
+        return _F64.unpack(reader.take(8))[0]
+    if tag == b"s":
+        return reader.take(reader.u32()).decode("utf-8")
+    if tag == b"b":
+        return reader.take(reader.u32())
+    if tag == b"a":
+        data = reader.take(reader.u32())
+        try:
+            return np.load(io.BytesIO(data), allow_pickle=False)
+        except ValueError as exc:
+            raise CorruptLogError(f"corrupt array payload: {exc}") from exc
+    if tag == b"l":
+        return [_decode_from(reader) for _ in range(reader.u32())]
+    if tag == b"t":
+        return tuple(_decode_from(reader) for _ in range(reader.u32()))
+    if tag == b"d":
+        n = reader.u32()
+        out = {}
+        for _ in range(n):
+            key = _decode_from(reader)
+            out[key] = _decode_from(reader)
+        return out
+    raise CorruptLogError(f"unknown codec tag {tag!r} at offset {reader.pos - 1}")
+
+
+def decode(data: bytes):
+    """Deserialize one value; raises CorruptLogError on malformed input
+    (including trailing bytes — a payload is exactly one value)."""
+    reader = _Reader(data)
+    value = _decode_from(reader)
+    if reader.pos != len(data):
+        raise CorruptLogError(
+            f"{len(data) - reader.pos} trailing bytes after decoded value"
+        )
+    return value

@@ -1,0 +1,85 @@
+"""CRC-framed record streams: the on-disk grammar of WAL and checkpoint
+files.
+
+A file is a sequence of frames; each frame is::
+
+    +----------+----------+------------------+
+    | len: u32 | crc: u32 | payload (len B)  |
+    +----------+----------+------------------+
+
+with ``crc = crc32(payload)``.  The frame header is what makes a *torn
+tail* detectable without any out-of-band metadata: a crash mid-append
+leaves either a partial header, a header whose length overruns the
+file, or a payload whose CRC disagrees — in every case
+:func:`read_frames` stops at the last complete frame and reports how
+many bytes it dropped.  Tolerant reads (the WAL replay path) treat that
+silently — the lost record describes a tick the deterministic stream
+source will simply regenerate; strict reads (checkpoint files, which
+are swapped in atomically and must therefore be complete) raise
+:class:`~repro.errors.CorruptLogError` instead.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import CorruptLogError
+
+__all__ = ["FrameScan", "frame", "read_frames"]
+
+_HEADER = struct.Struct("<II")
+
+#: Guard against a corrupted length field causing a giant allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap one payload in a length + CRC32 header."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class FrameScan:
+    """The result of scanning a byte stream for frames."""
+
+    payloads: list[bytes] = field(default_factory=list)
+    #: Bytes dropped from the end (0 when the stream ended exactly on a
+    #: frame boundary).
+    truncated_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.truncated_bytes == 0
+
+
+def read_frames(data: bytes, *, strict: bool = False) -> FrameScan:
+    """Parse frames until the data ends or a frame fails to validate.
+
+    ``strict=False`` (WAL semantics) stops at the first incomplete or
+    CRC-failing frame and counts the remainder as the torn tail;
+    ``strict=True`` (checkpoint semantics) raises
+    :class:`~repro.errors.CorruptLogError` in that case.
+    """
+    scan = FrameScan()
+    pos = 0
+    n = len(data)
+    while pos < n:
+        if pos + _HEADER.size > n:
+            break
+        length, crc = _HEADER.unpack_from(data, pos)
+        if length > MAX_FRAME_BYTES or pos + _HEADER.size + length > n:
+            break
+        payload = data[pos + _HEADER.size : pos + _HEADER.size + length]
+        if zlib.crc32(payload) != crc:
+            break
+        scan.payloads.append(payload)
+        pos += _HEADER.size + length
+    scan.truncated_bytes = n - pos
+    if strict and not scan.clean:
+        raise CorruptLogError(
+            f"{scan.truncated_bytes} bytes fail CRC framing after "
+            f"{len(scan.payloads)} valid record(s)"
+        )
+    return scan

@@ -1,0 +1,78 @@
+"""The byte-level storage seam durability writes through.
+
+Every disk touch the recovery subsystem makes — WAL appends, atomic
+checkpoint swaps, reads, listings, deletions — goes through one
+:class:`LocalStorage` object.  That single indirection is what makes
+the fault-injection harness possible: the tests substitute a
+``CrashingStorage`` subclass (``tests/_faults.py``) that kills the
+"process" at any scheduled byte boundary of any scheduled write, and
+the recovery code cannot tell the difference.
+
+Durability semantics modeled on POSIX:
+
+* :meth:`LocalStorage.append` — bytes reach the file in order; a crash
+  mid-append leaves a prefix (the torn tail the framing layer detects).
+* :meth:`LocalStorage.write_atomic` — write-to-temp + fsync +
+  ``os.replace``: after a crash the destination holds either the old
+  bytes or the complete new bytes, never a mixture.  Leftover ``.tmp``
+  files from a crash before the rename are ignored by listings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["LocalStorage"]
+
+_TMP_SUFFIX = ".tmp"
+
+
+class LocalStorage:
+    """Filesystem-backed storage rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, name: str) -> Path:
+        return self.root / name
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self.path(name), "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        tmp = self.path(name + _TMP_SUFFIX)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path(name))
+
+    def remove(self, name: str) -> None:
+        try:
+            os.remove(self.path(name))
+        except FileNotFoundError:
+            pass
+
+    # -- reads ---------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def read(self, name: str) -> bytes:
+        return self.path(name).read_bytes()
+
+    def list(self) -> list[str]:
+        """Durable file names (leftover ``.tmp`` files are invisible —
+        they are the debris of a crash before an atomic rename)."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_file() and not entry.name.endswith(_TMP_SUFFIX)
+        )

@@ -37,7 +37,7 @@ from .relation import StoredRelation
 from .table import Table
 from ..errors import ResolutionError
 from ..provenance.base import Provenance
-from ..stats.relation_stats import StatsCatalog
+from ..stats.relation_stats import RelationStats, StatsCatalog
 
 
 class Database:
@@ -341,6 +341,101 @@ class Database:
         self.relations = {}
         self._finalized = False
         self.evaluated = False
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoint / export interchange)
+
+    def state_dict(self) -> dict:
+        """Full serializable state: the input-fact log (rows, ids,
+        probabilities, exclusion groups), every stored relation's tables
+        + masks + optional statistics, staged deltas, and the mutation
+        counter.  Everything the constructor plus the add/retract history
+        would have produced — restoring via :meth:`from_state` yields a
+        database indistinguishable from the original, including fact-id
+        allocation (ids are never reused, so the log is the allocator).
+        """
+        return {
+            "schemas": {
+                name: tuple(dtype.str for dtype in dtypes)
+                for name, dtypes in self.schemas.items()
+            },
+            "relations": {
+                name: {
+                    "columns": list(rel.full.columns),
+                    "tags": rel.full.tags,
+                    "n_rows": rel.full.n_rows,
+                    "recent_mask": rel.recent_mask,
+                    "changed_mask": rel.changed_mask,
+                    "stats": (
+                        rel.stats.state_dict() if rel.stats is not None else None
+                    ),
+                }
+                for name, rel in self.relations.items()
+            },
+            "pending": {
+                name: (list(rows), list(ids))
+                for name, (rows, ids) in self._pending.items()
+            },
+            "loaded": {
+                name: (list(rows), list(ids))
+                for name, (rows, ids) in self._loaded.items()
+            },
+            "retractions": {
+                name: list(rows) for name, rows in self._retractions.items()
+            },
+            "version": self.version,
+            "probs": list(self._probs),
+            "groups": list(self._groups),
+            "next_group": self._next_group,
+            "finalized": self._finalized,
+            "evaluated": self.evaluated,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, provenance: Provenance) -> "Database":
+        """Reconstruct a database from :meth:`state_dict` output onto a
+        *fresh* provenance instance (the caller supplies one matching the
+        semiring the state was written under; tags are data, so a fresh
+        instance set up on the restored input facts reads them)."""
+        schemas = {
+            name: tuple(np.dtype(spec) for spec in dtypes)
+            for name, dtypes in state["schemas"].items()
+        }
+        database = cls(schemas, provenance)
+        database._pending = {
+            name: (list(rows), list(ids))
+            for name, (rows, ids) in state["pending"].items()
+        }
+        database._loaded = {
+            name: (list(rows), list(ids))
+            for name, (rows, ids) in state["loaded"].items()
+        }
+        database._retractions = {
+            name: list(rows) for name, rows in state["retractions"].items()
+        }
+        database.version = int(state["version"])
+        database._probs = [float(p) for p in state["probs"]]
+        database._groups = [int(g) for g in state["groups"]]
+        database._next_group = int(state["next_group"])
+        database._finalized = bool(state["finalized"])
+        database.evaluated = bool(state["evaluated"])
+        database.input_probs = np.asarray(database._probs, dtype=np.float64)
+        database.exclusion_groups = np.asarray(database._groups, dtype=np.int64)
+        if database._finalized:
+            provenance.setup(database.input_probs, database.exclusion_groups)
+        for name, rel_state in state["relations"].items():
+            rel = StoredRelation(name, schemas[name], provenance)
+            rel.full = Table(
+                [np.asarray(column) for column in rel_state["columns"]],
+                np.asarray(rel_state["tags"]),
+                int(rel_state["n_rows"]),
+            )
+            rel.recent_mask = np.asarray(rel_state["recent_mask"], dtype=bool)
+            rel.changed_mask = np.asarray(rel_state["changed_mask"], dtype=bool)
+            if rel_state["stats"] is not None:
+                rel._stats = RelationStats.from_state(rel_state["stats"])
+            database.relations[name] = rel
+        return database
 
     # ------------------------------------------------------------------
 

@@ -708,6 +708,29 @@ class LobsterEngine:
 
     # ------------------------------------------------------------------
 
+    def export_database(self, database: Database, path) -> None:
+        """Write ``database``'s full state to ``path`` in the durability
+        subsystem's checkpoint format (CRC-framed, atomically swapped) —
+        a compact interchange another process imports with
+        :meth:`import_database`."""
+        from ..recovery import export_database  # lazy: recovery sits above
+
+        export_database(path, database)
+
+    def import_database(self, path) -> Database:
+        """Load a database exported by :meth:`export_database` onto this
+        engine's semiring (a fresh provenance instance is set up on the
+        restored input facts).  Raises
+        :class:`~repro.errors.CheckpointMismatchError` if the export was
+        written under a different provenance, and
+        :class:`~repro.errors.CorruptLogError` if the file fails CRC
+        framing."""
+        from ..recovery import import_database  # lazy: recovery sits above
+
+        return import_database(path, self)
+
+    # ------------------------------------------------------------------
+
     def query(self, database: Database, name: str) -> list[tuple]:
         return database.result(name).rows()
 

@@ -32,6 +32,7 @@ histograms replay bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .metrics import MetricsRegistry
 from .scheduler import seed_free_at
@@ -40,6 +41,9 @@ from ..errors import LobsterError
 from ..runtime.session import LobsterSession
 from ..stream.view import MaterializedView, ViewDelta
 from ..stream.window import TickDelta, Window
+
+if TYPE_CHECKING:  # circular-import guard (recovery imports stream)
+    from ..recovery import RecoveryManager
 
 __all__ = ["StreamScheduler", "StreamReport"]
 
@@ -94,14 +98,20 @@ class StreamScheduler:
         n_devices: int = 1,
         metrics: MetricsRegistry | None = None,
         max_lag_ticks: float = 4.0,
+        durability: "RecoveryManager | None" = None,
     ):
         """Share ``pool`` and ``metrics`` with a request
         :class:`~repro.serve.scheduler.Scheduler` to co-locate
         maintenance and serving; ``max_lag_ticks`` is the backlog (in
-        tick periods) past which due ticks coalesce into one pass."""
+        tick periods) past which due ticks coalesce into one pass.
+        ``durability`` (a :class:`~repro.recovery.RecoveryManager`)
+        routes every applied tick through the WAL + checkpoint path, so
+        a restarted process resumes mid-stream via
+        :func:`repro.recovery.recover`."""
         self.pool = pool or DevicePool(n_devices, policy="least-loaded")
         self.metrics = metrics or MetricsRegistry()
         self.max_lag_ticks = max_lag_ticks
+        self.durability = durability
         self.streams: list[RegisteredStream] = []
         self._sessions: dict[str, LobsterSession] = {}
 
@@ -134,6 +144,8 @@ class StreamScheduler:
         entry = RegisteredStream(
             name=name or view.name, view=view, feed=feed, period_s=period_s
         )
+        if self.durability is not None and entry.name not in self.durability.streams:
+            self.durability.register(entry.name, view, feed)
         self.streams.append(entry)
         self.metrics.gauge("stream.registered_views").set(len(self.streams))
         return entry
@@ -197,12 +209,15 @@ class StreamScheduler:
                     applied += 1
                     entry.next_due_s += entry.period_s
             session = self._session_for(entry.view)
-            view_delta = entry.view.apply(
-                delta,
-                runner=lambda db: session.run_batch(
-                    [db], device_index=device_index, retain=False
-                )[0],
-            )
+            runner = lambda db: session.run_batch(  # noqa: E731
+                [db], device_index=device_index, retain=False
+            )[0]
+            if self.durability is not None:
+                view_delta = self.durability.apply(
+                    entry.name, delta, runner=runner
+                )
+            else:
+                view_delta = entry.view.apply(delta, runner=runner)
             finish = start + view_delta.service_seconds
             free_at[device_index] = finish
             entry.ticks_applied += applied

@@ -105,6 +105,25 @@ class ColumnStats:
             and self.cms == other.cms
         )
 
+    def state_dict(self) -> dict:
+        return {
+            "min": self.min,
+            "max": self.max,
+            "float_values": self.float_values,
+            "kmv": self.kmv.state_dict(),
+            "cms": self.cms.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ColumnStats":
+        stats = cls()
+        stats.min = state["min"]
+        stats.max = state["max"]
+        stats.float_values = bool(state["float_values"])
+        stats.kmv = KmvSketch.from_state(state["kmv"])
+        stats.cms = CountMinSketch.from_state(state["cms"])
+        return stats
+
 
 class RelationStats:
     """Row count plus per-column :class:`ColumnStats` for one relation."""
@@ -146,6 +165,24 @@ class RelationStats:
             and self.row_count == other.row_count
             and self.columns == other.columns
         )
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot.  Round-tripping it preserves the
+        :meth:`bucket` exactly, so a plan cached against this catalog
+        stays addressable after checkpoint restore."""
+        return {
+            "row_count": self.row_count,
+            "columns": [column.state_dict() for column in self.columns],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RelationStats":
+        stats = cls(0)
+        stats.row_count = int(state["row_count"])
+        stats.columns = [
+            ColumnStats.from_state(column) for column in state["columns"]
+        ]
+        return stats
 
 
 @dataclass

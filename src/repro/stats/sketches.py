@@ -109,6 +109,18 @@ class KmvSketch:
             and np.array_equal(self.mins, other.mins)
         )
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot; restoring it reproduces the sketch
+        exactly (hash sets are data, not derived state)."""
+        return {"k": self.k, "mins": self.mins, "saturated": self.saturated}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KmvSketch":
+        sketch = cls(int(state["k"]))
+        sketch.mins = np.asarray(state["mins"], dtype=np.uint64)
+        sketch.saturated = bool(state["saturated"])
+        return sketch
+
 
 class CountMinSketch:
     """Linear count-min frequency sketch over one column's values."""
@@ -176,3 +188,18 @@ class CountMinSketch:
             and self.total == other.total
             and np.array_equal(self.counts, other.counts)
         )
+
+    def state_dict(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "counts": self.counts,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CountMinSketch":
+        sketch = cls(int(state["width"]), int(state["depth"]))
+        sketch.counts = np.asarray(state["counts"], dtype=np.int64)
+        sketch.total = int(state["total"])
+        return sketch

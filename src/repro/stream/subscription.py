@@ -64,6 +64,9 @@ class Subscription:
         self.cursor = cursor
         self.callback = callback
         self.delivered = 0
+        #: Durable-cursor identity (``subscribe(name=...)``); None for an
+        #: anonymous subscription whose position dies with the process.
+        self.name: str | None = None
         #: The view epoch this subscription belongs to; a refresh()
         #: re-baselines the view into a new epoch, and older
         #: subscriptions must fail loudly even if fully caught up.
@@ -102,7 +105,13 @@ class Subscription:
                 f"{pruned - 1}; re-subscribe (or raise max_history)"
             )
         deltas = self.view.history[self.cursor - pruned :]
+        moved = self.view.ticks_applied != self.cursor
         self.cursor = self.view.ticks_applied
+        if moved:
+            # Durable cursors acknowledge *before* the consumer sees the
+            # deltas: the poll's position is logged synchronously, so a
+            # crash after this return never re-delivers these deltas.
+            self.view._cursor_moved(self)
         return deltas
 
     def replay(self) -> "dict[str, RelationState]":

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Callable
 
 from .subscription import Subscription
 from .window import TickDelta
-from ..errors import LobsterError, StaleViewError
+from ..errors import CheckpointMismatchError, LobsterError, StaleViewError
 
 if TYPE_CHECKING:  # circular-import guard
     from ..runtime.database import Database
@@ -77,6 +77,32 @@ class ViewDelta:
     def change_count(self) -> int:
         return sum(len(rows) for rows in self.inserted.values()) + sum(
             len(rows) for rows in self.retracted.values()
+        )
+
+    def state_dict(self) -> dict:
+        """Serializable form (checkpointed view history)."""
+        return {
+            "tick": self.tick,
+            "inserted": dict(self.inserted),
+            "retracted": dict(self.retracted),
+            "maintained": self.maintained,
+            "fallback": self.fallback,
+            "service_seconds": self.service_seconds,
+            "wall_seconds": self.wall_seconds,
+            "ticks_covered": self.ticks_covered,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ViewDelta":
+        return cls(
+            tick=int(state["tick"]),
+            inserted={rel: list(rows) for rel, rows in state["inserted"].items()},
+            retracted={rel: list(rows) for rel, rows in state["retracted"].items()},
+            maintained=bool(state["maintained"]),
+            fallback=state["fallback"],
+            service_seconds=float(state["service_seconds"]),
+            wall_seconds=float(state["wall_seconds"]),
+            ticks_covered=int(state["ticks_covered"]),
         )
 
 
@@ -124,6 +150,13 @@ class MaterializedView:
         #: point (a caught-up reader still missed the re-baseline).
         self._epoch = 0
         self._subscribers: list[Subscription] = []
+        #: Durability hook: called as ``(subscription_name, cursor,
+        #: epoch)`` whenever a *named* subscription's cursor advances —
+        #: a RecoveryManager logs these so consumers resume exactly-once.
+        self.cursor_listener: Callable[[str, int, int], None] | None = None
+        #: Cursors recovered from a checkpoint/WAL, waiting for their
+        #: consumers to :meth:`resubscribe` by name.
+        self._recovered_cursors: dict[str, tuple[int, int]] = {}
         if self.database.evaluated:
             self._baseline = self._current_state()
         else:
@@ -288,14 +321,99 @@ class MaterializedView:
         self._history = []
         self._epoch += 1
 
-    def subscribe(self, callback=None) -> Subscription:
+    def subscribe(self, callback=None, *, name: str | None = None) -> Subscription:
         """A cursor over this view's delta stream from the current tick
         onward; ``callback`` additionally receives every future
-        :class:`ViewDelta` as it is applied (push mode)."""
+        :class:`ViewDelta` as it is applied (push mode).  ``name`` makes
+        the cursor *durable*: its position is reported through
+        :attr:`cursor_listener` on every poll (a RecoveryManager logs it
+        to the WAL) and survives a crash — reclaim it after recovery with
+        :meth:`resubscribe`."""
         subscription = Subscription(self, self.ticks_applied, callback)
         subscription.epoch = self._epoch
+        subscription.name = name
         self._subscribers.append(subscription)
         return subscription
+
+    def resubscribe(self, name: str, callback=None) -> Subscription:
+        """Reclaim a durable cursor after recovery: the subscription
+        resumes at the last position the consumer *acknowledged* (polled
+        and had durably logged) before the crash — deltas applied since
+        are delivered on the next poll, deltas polled before are not
+        re-delivered.  A name never seen before subscribes from tick 0
+        of the retained history (cursor at the prune point), so a
+        consumer that crashed before its first poll still sees every
+        delta it missed."""
+        cursor, epoch = self._recovered_cursors.pop(
+            name, (self._pruned, self._epoch)
+        )
+        subscription = Subscription(self, cursor, callback)
+        subscription.epoch = epoch
+        subscription.name = name
+        self._subscribers.append(subscription)
+        return subscription
+
+    def _cursor_moved(self, subscription: Subscription) -> None:
+        """A named subscription advanced its cursor; report it to the
+        durability layer (synchronously, *before* the consumer acts on
+        the polled deltas, so the acknowledgement is on disk first)."""
+        if subscription.name is not None and self.cursor_listener is not None:
+            self.cursor_listener(
+                subscription.name, subscription.cursor, subscription.epoch
+            )
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoint snapshot / restore)
+
+    def state_dict(self) -> dict:
+        """Serializable view-side state: baseline, current state, the
+        retained delta history, epoch/prune bookkeeping, and the durable
+        cursors of named subscriptions.  The database is *not* included —
+        it is checkpointed alongside (one database can back several
+        views)."""
+        cursors = dict(self._recovered_cursors)
+        for subscription in self._subscribers:
+            if subscription.name is not None:
+                cursors[subscription.name] = (
+                    subscription.cursor, subscription.epoch
+                )
+        return {
+            "relations": list(self.relations),
+            "max_history": self.max_history,
+            "baseline": {rel: dict(rows) for rel, rows in self._baseline.items()},
+            "state": {rel: dict(rows) for rel, rows in self._state.items()},
+            "history": [delta.state_dict() for delta in self._history],
+            "pruned": self._pruned,
+            "epoch": self._epoch,
+            "cursors": cursors,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load :meth:`state_dict` output into this view (whose database
+        must already hold the matching restored state).  The tracked
+        relation list must agree — a different program checkpointed this
+        state otherwise."""
+        if list(state["relations"]) != list(self.relations):
+            raise CheckpointMismatchError(
+                f"view state tracks relations {list(state['relations'])!r} "
+                f"but this view tracks {list(self.relations)!r} — the "
+                "checkpoint was written by a different program"
+            )
+        self.max_history = state["max_history"]
+        self._baseline = {
+            rel: dict(rows) for rel, rows in state["baseline"].items()
+        }
+        self._state = {rel: dict(rows) for rel, rows in state["state"].items()}
+        self._history = [
+            ViewDelta.from_state(delta) for delta in state["history"]
+        ]
+        self._pruned = int(state["pruned"])
+        self._epoch = int(state["epoch"])
+        self._recovered_cursors = {
+            name: (int(cursor), int(epoch))
+            for name, (cursor, epoch) in state["cursors"].items()
+        }
+        self._db_version = self.database.version
 
     # ------------------------------------------------------------------
 

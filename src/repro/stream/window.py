@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .source import StreamSource
+from ..errors import CheckpointMismatchError
 
 __all__ = ["TickDelta", "SlidingWindow", "TumblingWindow", "Window"]
 
@@ -94,6 +95,36 @@ class TickDelta:
                 merged.retracts[relation] = sorted(rows)
         return merged
 
+    def state_dict(self) -> dict:
+        """Serializable form (the WAL's ``delta`` record body)."""
+        return {
+            "tick": self.tick,
+            "ticks_covered": self.ticks_covered,
+            "inserts": {
+                relation: (
+                    list(rows),
+                    None if probs is None else list(probs),
+                )
+                for relation, (rows, probs) in self.inserts.items()
+            },
+            "retracts": {
+                relation: list(rows) for relation, rows in self.retracts.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TickDelta":
+        delta = cls(
+            int(state["tick"]), ticks_covered=int(state["ticks_covered"])
+        )
+        for relation, (rows, probs) in state["inserts"].items():
+            delta.inserts[relation] = (
+                list(rows), None if probs is None else list(probs)
+            )
+        for relation, rows in state["retracts"].items():
+            delta.retracts[relation] = list(rows)
+        return delta
+
 
 class Window:
     """Shared live-set bookkeeping; subclasses choose the expiry rule.
@@ -134,6 +165,35 @@ class Window:
 
     def _expiry_of(self, tick: int) -> int:
         raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the live-set bookkeeping, plus the
+        window's shape so a restore into a differently configured window
+        fails loudly instead of mis-expiring rows."""
+        return {
+            "kind": type(self).__name__,
+            "size": self.size,
+            "next_tick": self._next_tick,
+            "live": dict(self._live),
+            "expiry": {tick: list(keys) for tick, keys in self._expiry.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this window.  The
+        receiving window must have the same class and size as the writer
+        (expiry arithmetic differs otherwise) —
+        :class:`~repro.errors.CheckpointMismatchError` if not."""
+        if state["kind"] != type(self).__name__ or state["size"] != self.size:
+            raise CheckpointMismatchError(
+                f"window state was written by a {state['kind']}(size="
+                f"{state['size']}) but is being loaded into a "
+                f"{type(self).__name__}(size={self.size})"
+            )
+        self._next_tick = int(state["next_tick"])
+        self._live = dict(state["live"])
+        self._expiry = {
+            int(tick): list(keys) for tick, keys in state["expiry"].items()
+        }
 
     def advance(self) -> TickDelta:
         """Consume the next source tick and return its signed delta."""

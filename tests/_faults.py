@@ -1,0 +1,102 @@
+"""Deterministic fault injection for the recovery test-suite.
+
+The recovery subsystem funnels every disk touch through one
+:class:`~repro.recovery.storage.LocalStorage` object, so killing the
+"process" at an arbitrary durability boundary is just a storage subclass
+that counts write operations and raises :class:`InjectedCrash` at a
+scheduled one — optionally after persisting a prefix of the bytes
+(a torn write).  A schedule is ``{op_index: frac}``:
+
+* ``append`` with ``frac < 1`` persists ``int(len(data) * frac)`` bytes
+  then crashes — the torn WAL tail recovery must silently truncate;
+  ``frac == 1.0`` persists *everything* then crashes — the record is
+  durable but the in-memory apply it guards never ran, the other half
+  of the WAL contract.
+* ``write_atomic`` with ``frac < 0.5`` leaves a partial ``.tmp`` file
+  (never renamed, invisible to listings); ``0.5 <= frac < 1`` leaves a
+  complete ``.tmp`` still unrenamed; ``frac == 1.0`` completes the swap
+  then crashes — checkpoint durable, everything after it lost.
+
+Crashes raise through the caller like a process death: in-memory state
+is abandoned, and the test resumes by running ``recover()`` against the
+same directory.  :meth:`CrashingStorage.suspended` marks consumer-side
+critical sections (subscription polls) the fault model treats as
+atomic — the crash schedules target the tick path.
+
+Only write operations consume schedule indices (reads cannot lose
+data), so a schedule position maps to the same durability boundary
+regardless of how often recovery re-reads state.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.recovery.storage import LocalStorage
+
+
+class InjectedCrash(BaseException):
+    """The simulated process death.  Derives from BaseException so no
+    library-level ``except Exception`` can accidentally swallow the
+    "power loss" and keep running."""
+
+
+class CrashingStorage(LocalStorage):
+    """A LocalStorage that dies on schedule."""
+
+    def __init__(self, root, schedule: dict[int, float] | None = None):
+        super().__init__(root)
+        #: write-op index -> fraction of the write to persist first.
+        self.schedule = dict(schedule or {})
+        #: Write operations issued so far (append + write_atomic).
+        self.op_index = 0
+        self._suspended = 0
+
+    @contextmanager
+    def suspended(self):
+        """Crash-free critical section (the consumer's poll-and-process
+        step, which the fault model treats as atomic).  Suspended
+        operations do not consume schedule indices either, so a schedule
+        targets the same tick-path boundary whether or not a consumer
+        polled in between."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    def _next_crash(self) -> float | None:
+        if self._suspended:
+            return None
+        frac = self.schedule.get(self.op_index)
+        self.op_index += 1
+        return frac
+
+    def append(self, name: str, data: bytes) -> None:
+        frac = self._next_crash()
+        if frac is None:
+            super().append(name, data)
+            return
+        persisted = data if frac >= 1.0 else data[: int(len(data) * frac)]
+        if persisted:
+            super().append(name, persisted)
+        raise InjectedCrash(
+            f"append({name!r}) killed after {len(persisted)}/{len(data)} bytes"
+        )
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        frac = self._next_crash()
+        if frac is None:
+            super().write_atomic(name, data)
+            return
+        if frac >= 1.0:
+            super().write_atomic(name, data)
+            raise InjectedCrash(f"write_atomic({name!r}) killed after the swap")
+        # Crash before the rename: leave tmp-file debris only.
+        persisted = data[: int(len(data) * (frac * 2.0))]
+        tmp = self.path(name + ".tmp")
+        tmp.write_bytes(persisted)
+        raise InjectedCrash(
+            f"write_atomic({name!r}) killed before rename "
+            f"({len(persisted)}/{len(data)} tmp bytes)"
+        )

@@ -22,6 +22,8 @@ class TestErrorHierarchy:
             "RetractionUnsupportedError",
             "SessionError",
             "StaleViewError",
+            "CorruptLogError",
+            "CheckpointMismatchError",
             "UnknownTicketError",
             "TicketNotRunError",
         ):
@@ -46,6 +48,19 @@ class TestErrorHierarchy:
 
         assert repro.RetractionUnsupportedError is errors.RetractionUnsupportedError
         assert repro.StaleViewError is errors.StaleViewError
+
+    def test_durability_errors_importable_from_top_level(self):
+        import repro
+
+        assert repro.CorruptLogError is errors.CorruptLogError
+        assert repro.CheckpointMismatchError is errors.CheckpointMismatchError
+
+    def test_durability_errors_are_not_each_other(self):
+        # Torn-at-rest corruption and structural incompatibility are
+        # different conditions: one falls back to older state, the other
+        # must stop recovery.  Keep them catchable separately.
+        assert not issubclass(errors.CorruptLogError, errors.CheckpointMismatchError)
+        assert not issubclass(errors.CheckpointMismatchError, errors.CorruptLogError)
 
     def test_parse_error_location_prefix(self):
         error = errors.ParseError("bad token", line=3, column=7)
