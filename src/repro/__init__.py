@@ -27,6 +27,11 @@ Public API highlights:
   content-addressed compile-once cache behind every engine construction,
   keyed on (program, stats-bucket) so each observed data shape gets its
   own cost-based plan.
+* :mod:`repro.jit` — the trace-JIT (``LobsterEngine(jit=True)``): hot
+  programs have their APM instruction trace recorded, cut into fusible
+  regions, and compiled into fused vectorized kernels cached next to the
+  plan; guards deopt to the interpreter on drift, and results stay
+  bitwise-identical to interpreted execution.
 * :mod:`repro.stats` — live relation statistics (KMV distinct + count-min
   frequency sketches), the cardinality estimator and exchange-aware cost
   model behind the planner, and the plan-feedback loop that re-optimizes
@@ -46,6 +51,7 @@ from .errors import (
     DeviceOutOfMemory,
     EvaluationTimeout,
     ExecutionError,
+    JitUnsupportedError,
     LobsterError,
     ParseError,
     ResolutionError,
@@ -54,9 +60,11 @@ from .errors import (
     StaleViewError,
     StratificationError,
     TicketNotRunError,
+    TraceGuardError,
     UnknownTicketError,
 )
 from .dist import DevicePool, HashPartitioner, ShardedExecutor
+from .jit import JitConfig
 from .gpu.device import DeviceProfile, VirtualDevice
 from .runtime.cache import (
     CompiledProgram,
@@ -102,7 +110,7 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "AdmissionController",
@@ -127,6 +135,8 @@ __all__ = [
     "EvaluationTimeout",
     "ExecutionError",
     "ExecutionResult",
+    "JitConfig",
+    "JitUnsupportedError",
     "LobsterEngine",
     "LobsterError",
     "LobsterSession",
@@ -152,6 +162,7 @@ __all__ = [
     "Subscription",
     "TickDelta",
     "TicketNotRunError",
+    "TraceGuardError",
     "TumblingWindow",
     "UnknownTicketError",
     "ViewDelta",

@@ -30,7 +30,7 @@ import numpy as np
 from . import instructions as I
 from .compiler import ApmProgram, CompiledStratum, Variant
 from .schedule import cached_plan
-from ..errors import DeviceOutOfMemory, ExecutionError
+from ..errors import DeviceOutOfMemory, ExecutionError, TraceGuardError
 from ..gpu import bytecode
 from ..gpu.device import ALLOC_LATENCY_S, VirtualDevice
 from ..gpu.hash_table import HashIndex
@@ -83,6 +83,13 @@ class ApmInterpreter:
         #: selection survivors, and per-rule delta outputs — the actuals
         #: the adaptive planner compares against its estimates.
         self.feedback = None
+        #: Trace-JIT attachments (set by the engine around a run).  With
+        #: a recorder, executed variants report themselves — the recorded
+        #: trace.  With a run state, variants with a compiled fused
+        #: kernel dispatch to it instead of the interpreted loop below,
+        #: deopting back here when a guard fails.
+        self.jit_recorder = None
+        self.jit_state = None
 
     # ------------------------------------------------------------------
 
@@ -469,6 +476,25 @@ class ApmInterpreter:
         rule over semijoin-filtered leaf scans.  Entries are consumed in
         Load order, which for an unoptimized variant is the RAM
         ``scans_of`` order."""
+        if load_tables is None:
+            # Trace-JIT entry point.  Substituted-scan executions (the
+            # DRed re-derive step) always interpret: their inputs are not
+            # the database partitions the trace was specialized against.
+            if self.jit_recorder is not None:
+                self.jit_recorder.record_variant(variant, iteration)
+            state = self.jit_state
+            if state is not None:
+                kernel = state.kernels.get(id(variant))
+                if kernel is not None:
+                    try:
+                        kernel.execute(self, database, deltas, iteration)
+                    except TraceGuardError as exc:
+                        # Guards fire before any side effect, so falling
+                        # through to the interpreted loop is clean.
+                        state.deopts.append(exc.reason)
+                    else:
+                        state.executed += 1
+                        return
         registers: dict[str, np.ndarray] = {}
         provenance = database.provenance
         profile = self.device.profile

@@ -1,0 +1,43 @@
+"""Trace-JIT: record hot APM traces, compile them to fused kernels.
+
+The interpreter dispatches one APM instruction at a time and
+materializes every intermediate register.  This subsystem applies the
+dynamic-binary-instrumentation playbook to that loop: after a program
+runs warm, one run *records* its executed instruction trace (plus
+observed cardinalities via the planner's feedback machinery), the
+*region selector* (:mod:`repro.jit.regions`) cuts it into straight-line
+fusible segments, the *fusion compiler* (:mod:`repro.jit.fuse`) lowers
+each segment into a single fused vectorized kernel specialized on dtype
+and semiring, and the *code cache* (:class:`repro.runtime.cache
+.ProgramCache`) stores the translation next to the plan so subsequent
+runs re-enter it directly.  Guards re-validate the specialization on
+every entry and deopt to the interpreter on drift — results are always
+bitwise-identical to interpreted execution.
+"""
+
+from .fuse import VariantKernel, compile_variant
+from .regions import Region, fused_kernel_count, select_regions
+from .trace import (
+    DEDUP_SAFE_SEMIRINGS,
+    CompiledTrace,
+    JitConfig,
+    JitRunState,
+    TraceRecorder,
+    compile_trace,
+    trace_signature,
+)
+
+__all__ = [
+    "CompiledTrace",
+    "DEDUP_SAFE_SEMIRINGS",
+    "JitConfig",
+    "JitRunState",
+    "Region",
+    "TraceRecorder",
+    "VariantKernel",
+    "compile_trace",
+    "compile_variant",
+    "fused_kernel_count",
+    "select_regions",
+    "trace_signature",
+]

@@ -1,0 +1,559 @@
+"""The fusion compiler: lower a rule variant into fused kernels.
+
+The interpreter dispatches one APM instruction at a time and materializes
+every intermediate register (each ``put`` is a charged kernel producing a
+full column).  This module instead *symbolically executes* a variant at
+compile time, building a lazy dataflow graph over the loaded tables, and
+collapses each region (:mod:`repro.jit.regions`) into a single fused
+kernel: the join probe's match enumeration streams through the pipelined
+gathers, filter compactions, ⊗ tag combination, projections, and the
+final store — intermediates live "in registers" (graph nodes that are
+only materialized when an eager boundary or the store epilogue forces
+them).
+
+Two rewrites do the fusing:
+
+* **gather composition** — ``a[i][k] == a[i[k]]``, so a filter after a
+  join compacts the (tiny) index arrays instead of every gathered
+  column, and columns the filter predicate never reads are gathered
+  exactly once, post-compaction;
+* **elementwise pushdown** — ``take`` distributes over ⊗, dtype casts,
+  and the bytecode ops (all elementwise-pure for every device semiring),
+  so tag combination and projected expressions also evaluate
+  post-compaction only.
+
+Specialization + guards: a kernel is compiled against the recorded
+column dtypes and the semiring's tag dtype.  Every execution re-checks
+them against the live tables *before any side effect* and raises
+:class:`~repro.errors.TraceGuardError` on drift — the interpreter then
+re-executes the variant unfused (a clean deopt, never a wrong result).
+
+Cost model (mirrors the CUDA discipline the paper targets: kernel-launch
+overhead plus DRAM traffic dominate; fusion keeps intermediates in
+registers): one :meth:`~repro.gpu.device.VirtualDevice.record_kernel`
+charge per join/cross region with the region's match count as the row
+term, one per join-free pipeline at its output size — versus the
+interpreter's one charge per materialized register.  Hash-index builds
+and output materialization stay on the same allocation accounting as the
+interpreted path, so OOM semantics and buffer-reuse counters remain
+comparable.
+
+Result parity: every value the fused path stores is produced by the same
+numpy/bytecode/provenance operations the interpreter would run, in the
+same combination order, so rows, tags, and gradients are bitwise
+identical.  The optional fused ⊕-merge (pre-deduplicating a variant's
+delta through :func:`~repro.runtime.relation.dedup_table` before it is
+handed to ``advance``) is only enabled for order-insensitive semirings —
+``advance`` canonicalizes (sort + unique⟨⊕⟩) either way, so the final
+stored state is bitwise unchanged while the concatenated delta shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .regions import fused_kernel_count, select_regions
+from ..apm import instructions as I
+from ..apm.compiler import Variant
+from ..errors import JitUnsupportedError, TraceGuardError
+from ..gpu import bytecode
+from ..gpu.device import ALLOC_LATENCY_S
+from ..gpu.hash_table import HashIndex
+from ..runtime.relation import dedup_table
+from ..runtime.table import Table
+
+__all__ = ["VariantKernel", "compile_variant"]
+
+_MISSING = object()
+
+
+class _Ctx:
+    """Per-execution state: loaded tables + the node value memo."""
+
+    __slots__ = ("tables", "interp", "provenance", "iteration", "memo")
+
+    def __init__(self, tables, interp, provenance, iteration):
+        self.tables = tables
+        self.interp = interp
+        self.provenance = provenance
+        self.iteration = iteration
+        self.memo: dict[int, object] = {}
+
+
+class _Node:
+    __slots__ = ()
+
+    def value(self, ctx: _Ctx):
+        found = ctx.memo.get(id(self), _MISSING)
+        if found is _MISSING:
+            found = self._eval(ctx)
+            ctx.memo[id(self)] = found
+        return found
+
+
+class _LoadCol(_Node):
+    __slots__ = ("load", "col")
+
+    def __init__(self, load: int, col: int):
+        self.load = load
+        self.col = col
+
+    def _eval(self, ctx):
+        return ctx.tables[self.load].columns[self.col]
+
+
+class _LoadTags(_Node):
+    __slots__ = ("load",)
+
+    def __init__(self, load: int):
+        self.load = load
+
+    def _eval(self, ctx):
+        return ctx.tables[self.load].tags
+
+
+class _Take(_Node):
+    __slots__ = ("src", "index")
+
+    def __init__(self, src: _Node, index: _Node):
+        self.src = src
+        self.index = index
+
+    def _eval(self, ctx):
+        return self.src.value(ctx)[self.index.value(ctx)]
+
+
+class _CastIfNeeded(_Node):
+    """The §5.2 copy-projection fast path: cast only on dtype mismatch
+    (otherwise the column is passed through without a copy, exactly as
+    the interpreter aliases it)."""
+
+    __slots__ = ("src", "dtype")
+
+    def __init__(self, src: _Node, dtype):
+        self.src = src
+        self.dtype = np.dtype(dtype)
+
+    def _eval(self, ctx):
+        value = self.src.value(ctx)
+        return value if value.dtype == self.dtype else value.astype(self.dtype)
+
+
+class _CastAlways(_Node):
+    """Projection-expression epilogue (`np.asarray(...).astype(dtype)`,
+    op-for-op what the interpreter runs)."""
+
+    __slots__ = ("src", "dtype")
+
+    def __init__(self, src: _Node, dtype):
+        self.src = src
+        self.dtype = np.dtype(dtype)
+
+    def _eval(self, ctx):
+        return np.asarray(self.src.value(ctx)).astype(self.dtype)
+
+
+class _Expr(_Node):
+    """One bytecode program over source columns.  Only the columns the
+    program actually loads are forced; the rest stay unmaterialized."""
+
+    __slots__ = ("program", "srcs", "used", "length_of")
+
+    def __init__(self, program, srcs, length_of: _Node):
+        self.program = program
+        self.srcs = srcs
+        self.used = {
+            instr.arg
+            for instr in program.instrs
+            if instr.op == bytecode.LOAD_COL
+        }
+        self.length_of = length_of
+
+    def _eval(self, ctx):
+        cols = [
+            src.value(ctx) if j in self.used else None
+            for j, src in enumerate(self.srcs)
+        ]
+        n = len(self.length_of.value(ctx))
+        return bytecode.execute(self.program, cols, n)
+
+
+class _Keep(_Node):
+    """Filter survivors as an index array — the compaction every
+    downstream gather composes with instead of re-materializing rows."""
+
+    __slots__ = ("mask",)
+
+    def __init__(self, mask: _Node):
+        self.mask = mask
+
+    def _eval(self, ctx):
+        keep = np.flatnonzero(self.mask.value(ctx).astype(bool))
+        if ctx.interp.feedback is not None:
+            ctx.interp.feedback.record_instruction("EvalFilter", len(keep))
+        return keep
+
+
+class _Otimes(_Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+
+    def _eval(self, ctx):
+        return ctx.provenance.otimes(self.left.value(ctx), self.right.value(ctx))
+
+
+class _Build(_Node):
+    """Hash-index construction, with the §4.2 static-register reuse the
+    interpreted ``Build`` performs (same device cache, same accounting)."""
+
+    __slots__ = ("srcs", "width", "static_key")
+
+    def __init__(self, srcs, width: int, static_key):
+        self.srcs = srcs
+        self.width = width
+        self.static_key = static_key
+
+    def _eval(self, ctx):
+        interp = ctx.interp
+        index = None
+        if self.static_key and interp.enable_static_reuse and ctx.iteration > 1:
+            index = interp.device.get_static(self.static_key)
+        if index is None:
+            columns = [src.value(ctx) for src in self.srcs]
+            index = HashIndex(columns, self.width)
+            interp.device.profile.bytes_allocated += index.nbytes
+            if self.static_key and interp.enable_static_reuse:
+                interp.device.set_static(self.static_key, index)
+        else:
+            interp.device.profile.reused_allocations += 1
+        return index
+
+
+class _Probe(_Node):
+    """The fused join kernel: one launch, match count as the row term
+    (every match streams through the downstream pipeline in registers)."""
+
+    __slots__ = ("index", "keys")
+
+    def __init__(self, index: _Node, keys):
+        self.index = index
+        self.keys = keys
+
+    def _eval(self, ctx):
+        index = self.index.value(ctx)
+        probe_cols = [key.value(ctx) for key in self.keys]
+        probe_ids, build_ids, _counts = index.probe(probe_cols)
+        ctx.interp.device.record_kernel(len(probe_ids))
+        ctx.interp.device.profile.record_instruction("FusedKernel")
+        if ctx.interp.feedback is not None:
+            ctx.interp.feedback.record_instruction("Probe", len(probe_ids))
+        return probe_ids, build_ids
+
+
+class _Cross(_Node):
+    """Cartesian index enumeration as one fused kernel."""
+
+    __slots__ = ("left_tags", "right_tags")
+
+    def __init__(self, left_tags: _Node, right_tags: _Node):
+        self.left_tags = left_tags
+        self.right_tags = right_tags
+
+    def _eval(self, ctx):
+        n_left = len(self.left_tags.value(ctx))
+        n_right = len(self.right_tags.value(ctx))
+        ctx.interp.device.record_kernel(n_left * n_right)
+        ctx.interp.device.profile.record_instruction("FusedKernel")
+        left = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+        right = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+        return left, right
+
+
+class _Item(_Node):
+    """One element of a pair-producing node (probe/cross sides)."""
+
+    __slots__ = ("src", "item")
+
+    def __init__(self, src: _Node, item: int):
+        self.src = src
+        self.item = item
+
+    def _eval(self, ctx):
+        return self.src.value(ctx)[self.item]
+
+
+def _take(src: _Node, index: _Node) -> _Node:
+    """``src[index]`` with fusion rewrites: gathers compose
+    (``a[i][k] -> a[i[k]]``) and distribute over the elementwise nodes
+    (⊗, casts), so compaction happens on index arrays and everything
+    downstream evaluates post-compaction only."""
+    if isinstance(src, _Take):
+        return _Take(src.src, _take(src.index, index))
+    if isinstance(src, _Otimes):
+        return _Otimes(_take(src.left, index), _take(src.right, index))
+    if isinstance(src, (_CastIfNeeded, _CastAlways)):
+        return type(src)(_take(src.src, index), src.dtype)
+    return _Take(src, index)
+
+
+class _LoadSpec:
+    """Guarded snapshot: predicate/partition plus the dtype signature the
+    kernel was specialized against."""
+
+    __slots__ = ("predicate", "partition", "dtypes")
+
+    def __init__(self, predicate: str, partition: str, dtypes):
+        self.predicate = predicate
+        self.partition = partition
+        self.dtypes = tuple(np.dtype(dt) for dt in dtypes)
+
+
+class _StoreSpec:
+    __slots__ = ("predicate", "cols", "tags")
+
+    def __init__(self, predicate: str, cols, tags: _Node):
+        self.predicate = predicate
+        self.cols = cols
+        self.tags = tags
+
+
+class VariantKernel:
+    """One rule variant lowered to fused kernels.
+
+    ``execute`` has the same observable contract as the interpreter's
+    ``_execute_variant`` — bitwise-identical delta tables, the same
+    feedback recordings, the same static-index and allocation-site
+    behavior — at :attr:`n_kernels` charged kernel launches instead of
+    one per materialized register.
+    """
+
+    def __init__(
+        self,
+        rule_key: str | None,
+        loads: list[_LoadSpec],
+        stores: list[_StoreSpec],
+        n_joins: int,
+        n_kernels: int,
+        tag_dtype: np.dtype,
+        fused_dedup: bool,
+    ):
+        self.rule_key = rule_key
+        self.loads = loads
+        self.stores = stores
+        self.n_joins = n_joins
+        #: Charged fused kernels per execution (vs. the interpreter's
+        #: per-register count) — what bench_jit reports.
+        self.n_kernels = n_kernels
+        self.tag_dtype = tag_dtype
+        self.fused_dedup = fused_dedup
+
+    # ------------------------------------------------------------------
+
+    def _guarded_tables(self, database) -> list[Table]:
+        """Snapshot every Load and check the specialization guards.
+        Runs before any charge/feedback/store side effect, so a failure
+        deopts cleanly to the interpreter."""
+        provenance = database.provenance
+        if provenance.tag_dtype() != self.tag_dtype:
+            raise TraceGuardError(
+                f"tag dtype drifted: trace compiled for {self.tag_dtype}, "
+                f"database provenance {provenance.name!r} uses "
+                f"{provenance.tag_dtype()}"
+            )
+        tables = []
+        for spec in self.loads:
+            table = database.relation(spec.predicate).snapshot(spec.partition)
+            if len(table.columns) != len(spec.dtypes):
+                raise TraceGuardError(
+                    f"schema drifted: {spec.predicate!r} has "
+                    f"{len(table.columns)} columns, trace expected "
+                    f"{len(spec.dtypes)}"
+                )
+            for j, (col, expected) in enumerate(zip(table.columns, spec.dtypes)):
+                if col.dtype != expected:
+                    raise TraceGuardError(
+                        f"column dtype drifted: {spec.predicate!r}[{j}] is "
+                        f"{col.dtype}, trace specialized for {expected}"
+                    )
+            tables.append(table)
+        return tables
+
+    def execute(self, interp, database, deltas, iteration: int) -> None:
+        """Run the fused translation; raises
+        :class:`~repro.errors.TraceGuardError` (side-effect free) when a
+        guard fails."""
+        tables = self._guarded_tables(database)
+        provenance = database.provenance
+        profile = interp.device.profile
+        ctx = _Ctx(tables, interp, provenance, iteration)
+        for index, store in enumerate(self.stores):
+            tags = store.tags.value(ctx)
+            columns = [node.value(ctx) for node in store.cols]
+            if self.n_joins == 0:
+                # Join-free pipeline: the evaluate-and-store kernel is
+                # the segment's only launch.
+                interp.device.record_kernel(len(tags))
+                profile.record_instruction("FusedKernel")
+            dead = provenance.is_absorbing_zero(tags)
+            if dead.any():
+                keep = np.flatnonzero(~dead)
+                columns = [c[keep] for c in columns]
+                tags = tags[keep]
+            table = Table(columns, tags, len(tags))
+            if interp.feedback is not None:
+                # Recorded pre-dedup, like the interpreter, so adaptive
+                # drift detection sees identical rule actuals.
+                interp.feedback.record_instruction("StoreDelta", table.n_rows)
+                if self.rule_key is not None:
+                    interp.feedback.record_rule(self.rule_key, table.n_rows)
+            if self.fused_dedup and table.n_rows:
+                # The fused ⊕-merge: ``advance`` re-canonicalizes, so for
+                # the order-insensitive semirings this gate admits the
+                # final state is bitwise unchanged.
+                table = dedup_table(table, provenance)
+            for j, array in enumerate([*table.columns, table.tags]):
+                site = f"jit:{self.rule_key}:{index}:{j}"
+                profile.allocation_count += 1
+                if interp.enable_buffer_reuse and site in interp._seen_sites:
+                    profile.reused_allocations += 1
+                else:
+                    profile.bytes_allocated += array.nbytes
+                    profile.alloc_seconds += ALLOC_LATENCY_S
+                interp._seen_sites.add(site)
+            if table.n_rows:
+                deltas[store.predicate].append(table)
+        interp._check_capacity(
+            database,
+            {
+                position: value
+                for position, value in enumerate(ctx.memo.values())
+                if isinstance(value, np.ndarray)
+            },
+        )
+
+
+def compile_variant(
+    variant: Variant, fused_dedup: bool, tag_dtype
+) -> VariantKernel:
+    """Symbolically execute ``variant`` into a :class:`VariantKernel`.
+
+    Raises :class:`~repro.errors.JitUnsupportedError` when the variant
+    contains an instruction with no fused translation (the caller keeps
+    that variant on the interpreter).
+    """
+    regions = select_regions(variant)  # validates support, counts kernels
+    env: dict[str, _Node] = {}
+    loads: list[_LoadSpec] = []
+    stores: list[_StoreSpec] = []
+    n_joins = 0
+
+    for instruction in variant.instructions:
+        if isinstance(instruction, I.Load):
+            position = len(loads)
+            loads.append(
+                _LoadSpec(
+                    instruction.predicate,
+                    instruction.partition,
+                    instruction.dst.dtypes,
+                )
+            )
+            for j, register in enumerate(instruction.dst.cols):
+                env[register] = _LoadCol(position, j)
+            env[instruction.dst.tags] = _LoadTags(position)
+
+        elif isinstance(instruction, I.EvalProject):
+            src = instruction.src
+            for j, program in enumerate(instruction.programs):
+                dtype = instruction.dst.dtypes[j]
+                if isinstance(program, int):
+                    env[instruction.dst.cols[j]] = _CastIfNeeded(
+                        env[src.cols[program]], dtype
+                    )
+                else:
+                    expr = _Expr(
+                        program,
+                        [env[c] for c in src.cols],
+                        env[src.tags],
+                    )
+                    env[instruction.dst.cols[j]] = _CastAlways(expr, dtype)
+            env[instruction.dst.tags] = env[src.tags]
+
+        elif isinstance(instruction, I.EvalFilter):
+            src = instruction.src
+            mask = _Expr(
+                instruction.program, [env[c] for c in src.cols], env[src.tags]
+            )
+            keep = _Keep(mask)
+            for dst, col in zip(instruction.dst.cols, src.cols):
+                env[dst] = _take(env[col], keep)
+            env[instruction.dst.tags] = _take(env[src.tags], keep)
+
+        elif isinstance(instruction, I.Build):
+            env[instruction.dst] = _Build(
+                [env[c] for c in instruction.src.cols],
+                instruction.width,
+                instruction.static_key,
+            )
+
+        elif isinstance(instruction, I.Probe):
+            pair = _Probe(
+                env[instruction.index],
+                [env[c] for c in instruction.probe.cols[: instruction.width]],
+            )
+            env[instruction.dst_probe] = _Item(pair, 0)
+            env[instruction.dst_build] = _Item(pair, 1)
+            n_joins += 1
+
+        elif isinstance(instruction, I.Gather):
+            for dst, src in zip(instruction.dst_cols, instruction.src_cols):
+                env[dst] = _take(env[src], env[instruction.index])
+
+        elif isinstance(instruction, I.GatherTags):
+            left = _take(
+                env[instruction.left_tags], env[instruction.left_index]
+            )
+            right = _take(
+                env[instruction.right_tags], env[instruction.right_index]
+            )
+            env[instruction.dst] = _Otimes(left, right)
+
+        elif isinstance(instruction, I.CopyTags):
+            env[instruction.dst] = env[instruction.src]
+
+        elif isinstance(instruction, I.CrossIndices):
+            pair = _Cross(
+                env[instruction.left_tags], env[instruction.right_tags]
+            )
+            env[instruction.dst_left] = _Item(pair, 0)
+            env[instruction.dst_right] = _Item(pair, 1)
+            n_joins += 1
+
+        elif isinstance(instruction, I.StoreDelta):
+            src = instruction.src
+            stores.append(
+                _StoreSpec(
+                    instruction.predicate,
+                    [env[c] for c in src.cols],
+                    env[src.tags],
+                )
+            )
+
+        else:  # pragma: no cover - select_regions already rejected these
+            raise JitUnsupportedError(
+                f"{type(instruction).__name__} has no fused translation"
+            )
+
+    if not stores:
+        raise JitUnsupportedError("variant has no StoreDelta to fuse into")
+    return VariantKernel(
+        rule_key=variant.rule_key,
+        loads=loads,
+        stores=stores,
+        n_joins=n_joins,
+        n_kernels=fused_kernel_count(regions),
+        tag_dtype=np.dtype(tag_dtype),
+        fused_dedup=fused_dedup,
+    )

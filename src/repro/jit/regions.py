@@ -1,0 +1,106 @@
+"""Region selection: cut a recorded variant into fusible segments.
+
+A rule variant is a straight-line APM instruction list (SSA registers, no
+control flow), which makes it the ideal JIT region — the same property
+dynamic binary instrumentation frameworks exploit when they translate
+basic blocks once and re-enter the code cache.  The selector walks the
+instruction list and groups it into *regions*, each of which the fusion
+compiler (:mod:`repro.jit.fuse`) lowers to at most one fused kernel:
+
+* ``load`` — consecutive ``Load`` instructions.  Snapshot references, no
+  kernel (the interpreter charges nothing for them either).
+* ``index`` — one ``Build``.  Hash-index construction; charged through
+  the allocation model (bytes), participates in the §4.2 static-index
+  reuse exactly like the interpreted path.
+* ``join`` / ``cross`` — a ``Probe``/``CrossIndices`` plus every fusible
+  instruction after it up to the next eager instruction.  One fused
+  kernel: the probe's match enumeration streams through the pipelined
+  gathers, filters, projections, and the final store epilogue without
+  materializing intermediates.
+* ``pipeline`` — fusible instructions with no preceding join in the
+  variant (a flat copy/filter rule).  One fused evaluate-and-store
+  kernel.
+
+Boundaries the selector refuses to cross — the interpreter fallback set:
+
+* stratified negation (``AntiProbe``, ``PassIfEmpty``): the anti-join's
+  absence semantics have no streaming translation here, and negation is
+  only sound against complete relations;
+* stratum boundaries never arise inside a region by construction — a
+  variant belongs to exactly one stratum;
+* non-idempotent ⊕ is rejected one level up (:func:`repro.jit.trace
+  .compile_trace`): a fused ⊕-merge reassociates tag combination, which
+  only order-insensitive semirings survive bitwise.
+
+Raises :class:`~repro.errors.JitUnsupportedError` for unsupported
+instructions; callers treat that as "this variant stays interpreted".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apm import instructions as I
+from ..apm.compiler import Variant
+from ..errors import JitUnsupportedError
+
+__all__ = ["Region", "select_regions", "fused_kernel_count"]
+
+
+@dataclass
+class Region:
+    """One straight-line fusible segment of a variant."""
+
+    kind: str  # "load" | "index" | "join" | "cross" | "pipeline"
+    instructions: list = field(default_factory=list)
+
+    @property
+    def charged(self) -> bool:
+        """Whether this region executes as one charged fused kernel."""
+        return self.kind in ("join", "cross", "pipeline")
+
+
+def select_regions(variant: Variant) -> list[Region]:
+    """Cut ``variant`` into fused regions, in instruction order."""
+    regions: list[Region] = []
+
+    def begin(kind: str, instruction) -> None:
+        regions.append(Region(kind, [instruction]))
+
+    for instruction in variant.instructions:
+        if isinstance(instruction, I.JIT_UNSUPPORTED):
+            raise JitUnsupportedError(
+                f"{type(instruction).__name__} (stratified negation) has "
+                "no fused translation; the variant stays interpreted"
+            )
+        if isinstance(instruction, I.Load):
+            if regions and regions[-1].kind == "load":
+                regions[-1].instructions.append(instruction)
+            else:
+                begin("load", instruction)
+        elif isinstance(instruction, I.Build):
+            begin("index", instruction)
+        elif isinstance(instruction, I.Probe):
+            begin("join", instruction)
+        elif isinstance(instruction, I.CrossIndices):
+            begin("cross", instruction)
+        elif isinstance(instruction, I.FUSIBLE):
+            if regions and regions[-1].charged:
+                regions[-1].instructions.append(instruction)
+            else:
+                begin("pipeline", instruction)
+        else:
+            raise JitUnsupportedError(
+                f"unknown APM instruction {type(instruction).__name__}"
+            )
+    return regions
+
+
+def fused_kernel_count(regions: list[Region]) -> int:
+    """Fused kernels this variant executes per run: one per join/cross
+    region; a join-free variant collapses to one evaluate-and-store
+    kernel (its ``pipeline`` regions share the store epilogue)."""
+    joins = sum(1 for region in regions if region.kind in ("join", "cross"))
+    if joins:
+        return joins
+    return 1 if any(region.kind == "pipeline" for region in regions) else 0

@@ -1,0 +1,205 @@
+"""Trace recording, hotness, and whole-program trace compilation.
+
+The trace-JIT lifecycle (the DBI pattern: translate a hot region once,
+cache the translation, re-enter the code cache):
+
+1. **warm** — the first ``hot_runs`` executions of a compiled plan run
+   fully interpreted while the engine counts them per
+   ``(plan key, dtype signature)``;
+2. **record** — the next run still executes interpreted, but with a
+   :class:`TraceRecorder` attached: the interpreter reports every
+   variant it executes (the actual straight-line instruction sequence),
+   and a :class:`~repro.stats.feedback.PlanFeedback` captures the
+   observed cardinalities (join matches, selection survivors, per-rule
+   outputs) — the same feedback machinery the adaptive planner uses;
+3. **compile** — :func:`compile_trace` lowers every recorded-program
+   variant through the fusion compiler
+   (:func:`repro.jit.fuse.compile_variant`) into a
+   :class:`CompiledTrace`, which the engine stores in the
+   :class:`~repro.runtime.cache.ProgramCache` next to the plan, keyed by
+   ``(plan key, dtype signature)``;
+4. **execute** — subsequent runs dispatch each variant to its fused
+   kernel; a guard failure deopts that variant back to the interpreter
+   (reason recorded on ``ExecutionResult.jit_deopt``), and a
+   drift-triggered re-plan invalidates the trace together with the plan.
+
+Unsupported constructs degrade, never break: a variant with stratified
+negation stays interpreted (listed in :attr:`CompiledTrace.skipped`),
+and a non-idempotent ⊕ marks the whole trace unsupported — every
+"execute" run then reports a deopt with that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fuse import VariantKernel, compile_variant
+from ..apm.compiler import ApmProgram, Variant
+from ..errors import JitUnsupportedError
+from ..stats.feedback import PlanFeedback
+
+__all__ = [
+    "DEDUP_SAFE_SEMIRINGS",
+    "JitConfig",
+    "TraceRecorder",
+    "CompiledTrace",
+    "JitRunState",
+    "trace_signature",
+    "compile_trace",
+]
+
+#: Semirings whose ⊕-reduce is order-insensitive enough for the fused
+#: pre-dedup (``relation.advance`` canonicalizes by sort + unique⟨⊕⟩, so
+#: for these the final state is bitwise unchanged).  Top-k and the
+#: differentiable semirings keep their proofs/gradients tie-break-order
+#: sensitive and are excluded — they still JIT, just without the fused
+#: ⊕-merge.
+DEDUP_SAFE_SEMIRINGS = frozenset({"unit", "minmaxprob"})
+
+
+@dataclass(frozen=True)
+class JitConfig:
+    """Trace-JIT policy knobs (``LobsterEngine(jit=JitConfig(...))``)."""
+
+    #: Warm interpreted runs before the next run records a trace.  The
+    #: run after the recording executes the compiled trace.
+    hot_runs: int = 2
+    #: Enable the fused ⊕-merge for :data:`DEDUP_SAFE_SEMIRINGS`
+    #: (pre-deduplicate each variant's delta inside the fused kernel).
+    fused_dedup: bool = True
+
+
+def trace_signature(database) -> str:
+    """The dtype signature a trace is specialized against: semiring,
+    tag dtype, and every relation's column dtypes.  A database whose
+    signature differs (e.g. a recovery-restored instance with a widened
+    column) simply warms its own trace instead of tripping guards."""
+    parts = [database.provenance.name, str(database.provenance.tag_dtype())]
+    for name in sorted(database.schemas):
+        dtypes = ",".join(str(dt) for dt in database.schemas[name])
+        parts.append(f"{name}({dtypes})")
+    return "|".join(parts)
+
+
+@dataclass
+class TraceRecorder:
+    """Collects the executed variant sequence during a recording run.
+
+    The interpreter calls :meth:`record_variant` for every variant it
+    executes (in execution order), while :attr:`feedback` — attached to
+    the same run — accumulates the observed cardinalities.  Together
+    they are the recorded trace that :func:`compile_trace` compiles.
+    """
+
+    plan_key: str
+    signature: str
+    feedback: PlanFeedback
+    #: ``(rule_key, iteration)`` per executed variant, execution order.
+    entries: list[tuple[str, int]] = field(default_factory=list)
+
+    def record_variant(self, variant: Variant, iteration: int) -> None:
+        self.entries.append((variant.rule_key or "<anon>", iteration))
+
+
+@dataclass
+class CompiledTrace:
+    """A program's fused translation, stored in the code cache."""
+
+    plan_key: str
+    signature: str
+    #: The exact :class:`ApmProgram` instance the kernels were compiled
+    #: against.  Kernels are keyed by ``id(variant)``, so a trace is only
+    #: valid for this instance; the cache treats any other instance
+    #: (e.g. a drift-triggered recompile) as a miss.
+    apm: ApmProgram
+    #: ``id(variant) -> VariantKernel`` for every fusible variant.
+    kernels: dict[int, VariantKernel]
+    #: ``variant label -> reason`` for variants left on the interpreter.
+    skipped: dict[str, str]
+    #: When set, the whole trace has no fused translation (non-idempotent
+    #: ⊕, or nothing fusible) — execute-mode runs deopt with this reason.
+    unsupported: str | None
+    #: The recording run's executed-variant sequence.
+    entries: list[tuple[str, int]]
+    #: Observed cardinalities from the recording run (PlanFeedback rows).
+    instruction_rows: dict[str, int]
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+
+class JitRunState:
+    """Per-run dispatch state the engine attaches to the interpreter."""
+
+    __slots__ = ("trace", "kernels", "executed", "deopts")
+
+    def __init__(self, trace: CompiledTrace):
+        self.trace = trace
+        self.kernels = trace.kernels
+        #: Fused kernel executions this run.
+        self.executed = 0
+        #: Guard-failure reasons this run (each one fell back cleanly).
+        self.deopts: list[str] = []
+
+
+def compile_trace(
+    apm: ApmProgram,
+    provenance,
+    recorder: TraceRecorder,
+    config: JitConfig,
+) -> CompiledTrace:
+    """Lower a recorded trace into fused kernels.
+
+    Never raises :class:`~repro.errors.JitUnsupportedError` — variants
+    without a fused translation are recorded in ``skipped`` and keep
+    executing through the interpreter; a semiring-level rejection marks
+    the whole trace ``unsupported``.
+    """
+    kernels: dict[int, VariantKernel] = {}
+    skipped: dict[str, str] = {}
+    unsupported: str | None = None
+
+    if not provenance.idempotent_oplus:
+        unsupported = (
+            f"non-idempotent ⊕ ({provenance.name}): the fused ⊕-merge "
+            "would reassociate sums; the interpreter's materialized "
+            "merge order is the semantics"
+        )
+    else:
+        fused_dedup = (
+            config.fused_dedup and provenance.name in DEDUP_SAFE_SEMIRINGS
+        )
+        tag_dtype = provenance.tag_dtype()
+        for si, stratum in enumerate(apm.strata):
+            for ri, rule in enumerate(stratum.rules):
+                labeled = [
+                    (f"s{si}r{ri}v{vi}", variant)
+                    for vi, variant in enumerate(rule.variants)
+                ] + [
+                    (f"s{si}r{ri}d{vi}", variant)
+                    for vi, variant in enumerate(rule.delta_variants)
+                ]
+                for label, variant in labeled:
+                    try:
+                        kernels[id(variant)] = compile_variant(
+                            variant, fused_dedup, tag_dtype
+                        )
+                    except JitUnsupportedError as exc:
+                        skipped[label] = exc.reason
+        if not kernels:
+            unsupported = next(
+                iter(skipped.values()), "no fusible variants in program"
+            )
+            kernels = {}
+
+    return CompiledTrace(
+        plan_key=recorder.plan_key,
+        signature=recorder.signature,
+        apm=apm,
+        kernels=kernels if unsupported is None else {},
+        skipped=skipped,
+        unsupported=unsupported,
+        entries=list(recorder.entries),
+        instruction_rows=dict(recorder.feedback.instruction_rows),
+    )

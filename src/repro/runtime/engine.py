@@ -57,6 +57,13 @@ from ..apm.compiler import ApmProgram
 from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
 from ..errors import LobsterError, RetractionUnsupportedError
 from ..gpu.device import DeviceProfile, VirtualDevice
+from ..jit import (
+    JitConfig,
+    JitRunState,
+    TraceRecorder,
+    compile_trace,
+    trace_signature,
+)
 from ..provenance import registry
 from ..provenance.base import Provenance
 from ..stats.estimate import CostModel
@@ -118,6 +125,18 @@ class ExecutionResult:
     #: Whether this run executed under a different compiled plan than
     #: the engine's previous run (the adaptive re-planning path).
     replanned: bool = False
+    #: Whether any fused trace-JIT kernels executed in this run (the
+    #: code-cache re-entry path).
+    jit: bool = False
+    #: Why a jit-eligible run (fully or partly) fell back to the
+    #: interpreter: a guard failure (dtype/schema/semiring drift) or an
+    #: unsupported construct (non-idempotent ⊕).  None when nothing
+    #: deopted.  Mirrors :attr:`maintain_fallback` — the fallback is
+    #: always clean, never wrong.
+    jit_deopt: str | None = None
+    #: Whether this run recorded a trace for the code cache (the run
+    #: itself executed interpreted; the *next* run enters the cache).
+    jit_recorded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -182,6 +201,7 @@ class LobsterEngine:
         shard_devices: list[VirtualDevice] | None = None,
         adaptive: bool = False,
         replan_drift: float = 8.0,
+        jit: bool | JitConfig = False,
         **provenance_kwargs,
     ):
         """``cache=None`` (default) uses the process-wide program cache;
@@ -207,6 +227,17 @@ class LobsterEngine:
         re-plans.  Results are always bitwise identical to the static
         plan; only operator order changes.  Requires a real program
         cache (``cache=False`` is rejected).
+
+        ``jit=True`` (or a :class:`~repro.jit.JitConfig`) turns on the
+        trace-JIT: after ``hot_runs`` warm interpreted runs of a plan,
+        the next run records its instruction trace, the fusion compiler
+        lowers it to fused vectorized kernels, and subsequent runs enter
+        the code cache instead of the interpreter.  Results are always
+        bitwise identical — guard failures and unsupported constructs
+        deopt to the interpreter with the reason on
+        :attr:`ExecutionResult.jit_deopt`.  Traces live next to their
+        plan in the :class:`ProgramCache`, so ``cache=False`` is
+        rejected, and drift-triggered re-planning invalidates them.
         """
         self.source = source
         self.batched = batched
@@ -232,6 +263,9 @@ class LobsterEngine:
                 "(the paper's §3.5 limitation); use the Scallop baseline"
             )
 
+        if jit is True:
+            jit = JitConfig()
+        self.jit: JitConfig | None = jit or None
         if cache is None or cache is True:
             cache = default_cache()
         if cache is False:
@@ -239,6 +273,12 @@ class LobsterEngine:
                 raise LobsterError(
                     "adaptive re-planning keys plans in a ProgramCache; "
                     "pass cache=None (process default) or a ProgramCache"
+                )
+            if self.jit is not None:
+                raise LobsterError(
+                    "the trace-JIT stores compiled traces in a "
+                    "ProgramCache; pass cache=None (process default) or "
+                    "a ProgramCache"
                 )
             compiled = compile_source(
                 source, self.provenance_name, self.optimizations, batched
@@ -260,6 +300,10 @@ class LobsterEngine:
         #: estimator error, not stale statistics — so repeating the
         #: invalidate/recompile cycle would thrash the cache forever.
         self._drift_invalidated: set[str] = set()
+        #: Warm interpreted runs per (plan key, dtype signature) — the
+        #: trace-JIT's hotness counter.  Once it reaches
+        #: ``jit.hot_runs``, the next run records a trace.
+        self._jit_runs: dict[tuple[str, str], int] = {}
         self.compiled: CompiledProgram = compiled
         self.cache_hit = cache_hit
         #: Front-end seconds paid by *this* construction (0.0 on a hit).
@@ -433,6 +477,46 @@ class LobsterEngine:
         )
         return compiled
 
+    def _prepare_jit(
+        self,
+        active: CompiledProgram,
+        database: Database,
+        feedback: PlanFeedback | None,
+    ) -> tuple[TraceRecorder | None, JitRunState | None, str | None]:
+        """The trace-JIT's per-run decision: warm (count), record, or
+        execute.  Returns ``(recorder, state, deopt_reason)`` — at most
+        one of the three is set.
+
+        The code cache is consulted under the run's ``(plan key, dtype
+        signature)``: a hit whose trace is unsupported (non-idempotent ⊕)
+        reports a deopt; a supported hit dispatches through
+        :class:`~repro.jit.JitRunState`.  On a miss the hotness counter
+        advances, and once it passes ``hot_runs`` the run records — with
+        the adaptive feedback when one is live, else its own, so
+        observed cardinalities ride along either way.
+        """
+        if self.jit is None or self._program_cache is None:
+            return None, None, None
+        signature = trace_signature(database)
+        trace = self._program_cache.get_trace(
+            active.key, signature, apm=active.apm
+        )
+        if trace is not None:
+            if trace.unsupported is not None:
+                return None, None, trace.unsupported
+            return None, JitRunState(trace), None
+        key = (active.key, signature)
+        runs = self._jit_runs.get(key, 0)
+        if runs < self.jit.hot_runs:
+            self._jit_runs[key] = runs + 1
+            return None, None, None
+        recorder = TraceRecorder(
+            plan_key=active.key,
+            signature=signature,
+            feedback=feedback if feedback is not None else PlanFeedback(),
+        )
+        return recorder, None, None
+
     def run(
         self,
         database: Database,
@@ -484,6 +568,9 @@ class LobsterEngine:
             previous = self._last_plan_key or self.compiled.key
             replanned = active.key != previous
             self._last_plan_key = active.key
+        jit_recorder, jit_state, jit_reason = self._prepare_jit(
+            active, database, feedback
+        )
         if self._use_sharded() and _interpreter is None:
             result = self._run_sharded(
                 database,
@@ -492,6 +579,8 @@ class LobsterEngine:
                 incremental=incremental,
                 maintain=maintain,
                 reset_profile=reset_profile,
+                jit_recorder=jit_recorder,
+                jit_state=jit_state,
             )
         else:
             result = self._run_single(
@@ -502,7 +591,29 @@ class LobsterEngine:
                 maintain=maintain,
                 reset_profile=reset_profile,
                 _interpreter=_interpreter,
+                jit_recorder=jit_recorder,
+                jit_state=jit_state,
             )
+        if jit_recorder is not None and self._program_cache is not None:
+            # The recording run executed interpreted; compile its trace
+            # now so the next run enters the code cache.
+            trace = compile_trace(
+                active.apm, database.provenance, jit_recorder, self.jit
+            )
+            self._program_cache.put_trace(trace)
+            result.jit_recorded = True
+        if jit_state is not None:
+            result.jit = jit_state.executed > 0
+            if jit_state.deopts:
+                result.jit_deopt = jit_state.deopts[0]
+                if self._program_cache is not None:
+                    self._program_cache.record_trace_deopt(
+                        len(jit_state.deopts)
+                    )
+        elif jit_reason is not None:
+            result.jit_deopt = jit_reason
+            if self._program_cache is not None:
+                self._program_cache.record_trace_deopt()
         if feedback is not None:
             feedback.relation_rows = {
                 name: rel.n_facts() for name, rel in database.relations.items()
@@ -538,6 +649,8 @@ class LobsterEngine:
         maintain: bool | None,
         reset_profile: bool,
         _interpreter: ApmInterpreter | None,
+        jit_recorder: TraceRecorder | None = None,
+        jit_state: JitRunState | None = None,
     ) -> ExecutionResult:
         device = _interpreter.device if _interpreter is not None else self.device
         if reset_profile:
@@ -596,7 +709,14 @@ class LobsterEngine:
             max_iterations=self.max_iterations,
         )
         iterations_before = interpreter.iterations_run
-        interpreter.feedback = feedback
+        # A recording run without an adaptive feedback still needs one
+        # attached: the recorder's observed cardinalities come from it.
+        run_feedback = feedback
+        if run_feedback is None and jit_recorder is not None:
+            run_feedback = jit_recorder.feedback
+        interpreter.feedback = run_feedback
+        interpreter.jit_recorder = jit_recorder
+        interpreter.jit_state = jit_state
         start = time.perf_counter()
         try:
             if run_maintain:
@@ -605,6 +725,8 @@ class LobsterEngine:
                 interpreter.run(apm, database, incremental=run_incremental)
         finally:
             interpreter.feedback = None
+            interpreter.jit_recorder = None
+            interpreter.jit_state = None
         wall = time.perf_counter() - start
         database.evaluated = True
         # The result always carries its own per-run counter copy — the
@@ -634,6 +756,8 @@ class LobsterEngine:
         incremental: bool | None,
         maintain: bool | None = None,
         reset_profile: bool,
+        jit_recorder: TraceRecorder | None = None,
+        jit_state: JitRunState | None = None,
     ) -> ExecutionResult:
         """Execute across the shard pool via the sharded executor.
 
@@ -680,8 +804,22 @@ class LobsterEngine:
                 shard_device.profile.reset()
         befores = [d.profile.snapshot() for d in self.shard_devices]
         iterations_before = executor.iterations_run
+        # Every shard shares the trace's stateless kernels (and the one
+        # run state, so executed/deopt counts aggregate across shards);
+        # a recording run needs a feedback attached for cardinalities.
+        run_feedback = feedback
+        if run_feedback is None and jit_recorder is not None:
+            run_feedback = jit_recorder.feedback
+        for interpreter in executor.interpreters:
+            interpreter.jit_recorder = jit_recorder
+            interpreter.jit_state = jit_state
         start = time.perf_counter()
-        executor.run(apm, database, feedback=feedback)
+        try:
+            executor.run(apm, database, feedback=run_feedback)
+        finally:
+            for interpreter in executor.interpreters:
+                interpreter.jit_recorder = None
+                interpreter.jit_state = None
         wall = time.perf_counter() - start
         database.evaluated = True
         shard_profiles = [

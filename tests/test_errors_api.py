@@ -26,6 +26,8 @@ class TestErrorHierarchy:
             "CheckpointMismatchError",
             "UnknownTicketError",
             "TicketNotRunError",
+            "JitUnsupportedError",
+            "TraceGuardError",
         ):
             assert issubclass(getattr(errors, name), errors.LobsterError), name
 
@@ -42,6 +44,25 @@ class TestErrorHierarchy:
         error = errors.RetractionUnsupportedError("negation in stratum 2")
         assert error.reason == "negation in stratum 2"
         assert "negation in stratum 2" in str(error)
+
+    def test_trace_guard_is_execution_error(self):
+        # A guard failure happens mid-run, like an OOM — catchable as an
+        # execution failure; unsupported-construct is a compile-side
+        # classification, so it stays a plain LobsterError.
+        assert issubclass(errors.TraceGuardError, errors.ExecutionError)
+        assert not issubclass(errors.JitUnsupportedError, errors.ExecutionError)
+
+    def test_jit_errors_carry_reason(self):
+        guard = errors.TraceGuardError("column dtype drifted: edge[0]")
+        assert guard.reason == "column dtype drifted: edge[0]"
+        assert "column dtype drifted: edge[0]" in str(guard)
+        unsupported = errors.JitUnsupportedError("AntiProbe")
+        assert unsupported.reason == "AntiProbe"
+        assert "AntiProbe" in str(unsupported)
+
+    def test_jit_errors_importable_from_top_level(self):
+        assert repro.JitUnsupportedError is errors.JitUnsupportedError
+        assert repro.TraceGuardError is errors.TraceGuardError
 
     def test_streaming_errors_importable_from_top_level(self):
         import repro

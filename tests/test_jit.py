@@ -1,0 +1,512 @@
+"""Trace-JIT tests: hotness lifecycle, bitwise equivalence, guards,
+deopts, code-cache accounting, and serving metrics.
+
+The contract under test is absolute: a JIT'd run must be
+bitwise-result-equal (rows, tags, gradients) to the interpreted run on
+every path — cold, warm delta-seeded incremental, sharded, maintained,
+and recovery-restored — and every construct without a fused translation
+must deopt cleanly with a recorded reason, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import JitConfig, LobsterEngine, MetricsRegistry, ProgramCache
+from repro.errors import JitUnsupportedError, LobsterError
+from repro.jit import DEDUP_SAFE_SEMIRINGS, select_regions, trace_signature
+from repro.runtime.session import LobsterSession
+from repro.workloads.analytics import CSPA, cspa_instance
+
+from _helpers import TC_PROGRAM, random_digraph
+
+
+def tc_edges(seed=0, n_nodes=40, n_edges=110):
+    return random_digraph(np.random.default_rng(seed), n_nodes, n_edges)
+
+
+def assert_results_equal(db_a, db_b, names):
+    """Bitwise equality of rows AND tags for every queried relation."""
+    for name in names:
+        ta, tb = db_a.result(name), db_b.result(name)
+        assert ta.n_rows == tb.n_rows, name
+        for ca, cb in zip(ta.columns, tb.columns):
+            assert np.array_equal(ca, cb), name
+        assert np.array_equal(ta.tags, tb.tags), name
+
+
+def run_hot(engine, facts, n_runs=4, probs=None):
+    """Run ``n_runs`` fresh databases through ``engine``; return the
+    last (database, result) — past the warm/record phases by default."""
+    db = result = None
+    for _ in range(n_runs):
+        db = engine.create_database()
+        for name, rows in facts.items():
+            db.add_facts(name, rows, probs.get(name) if probs else None)
+        result = engine.run(db)
+    return db, result
+
+
+TC_FACTS = {"edge": tc_edges()}
+
+
+class TestHotnessLifecycle:
+    def test_warm_then_record_then_execute(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=ProgramCache(), jit=JitConfig(hot_runs=2)
+        )
+        phases = []
+        for _ in range(4):
+            db = engine.create_database()
+            db.add_facts("edge", TC_FACTS["edge"])
+            r = engine.run(db)
+            phases.append((r.jit, r.jit_recorded))
+        # 2 warm interpreted runs, then the recording run (itself
+        # interpreted), then code-cache execution.
+        assert phases == [
+            (False, False),
+            (False, False),
+            (False, True),
+            (True, False),
+        ]
+
+    def test_hot_runs_zero_records_immediately(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=ProgramCache(), jit=JitConfig(hot_runs=0)
+        )
+        db = engine.create_database()
+        db.add_facts("edge", TC_FACTS["edge"])
+        assert engine.run(db).jit_recorded
+        db2 = engine.create_database()
+        db2.add_facts("edge", TC_FACTS["edge"])
+        assert engine.run(db2).jit
+
+    def test_jit_true_means_default_config(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        assert engine.jit == JitConfig()
+
+    def test_jit_requires_a_program_cache(self):
+        with pytest.raises(LobsterError, match="ProgramCache"):
+            LobsterEngine(TC_PROGRAM, cache=False, jit=True)
+
+    def test_fused_run_is_modeled_faster(self):
+        interp = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        jit = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        _, ri = run_hot(interp, TC_FACTS)
+        _, rj = run_hot(jit, TC_FACTS)
+        assert rj.jit
+        assert rj.profile.busy_seconds < ri.profile.busy_seconds
+        assert rj.profile.kernel_launches < ri.profile.kernel_launches
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize(
+        "provenance,kwargs",
+        [
+            ("unit", {}),
+            ("minmaxprob", {}),
+            ("top-k-proofs-device", {"k": 3}),
+        ],
+    )
+    def test_tc_cold(self, provenance, kwargs):
+        edges = TC_FACTS["edge"]
+        probs = None
+        if provenance != "unit":
+            rng = np.random.default_rng(7)
+            probs = {"edge": (0.4 + 0.6 * rng.random(len(edges))).tolist()}
+        interp = LobsterEngine(
+            TC_PROGRAM, provenance=provenance, cache=ProgramCache(), **kwargs
+        )
+        jit = LobsterEngine(
+            TC_PROGRAM,
+            provenance=provenance,
+            cache=ProgramCache(),
+            jit=True,
+            **kwargs,
+        )
+        dbi, _ = run_hot(interp, TC_FACTS, probs=probs)
+        dbj, rj = run_hot(jit, TC_FACTS, probs=probs)
+        assert rj.jit and rj.jit_deopt is None
+        assert_results_equal(dbi, dbj, ["path"])
+
+    @pytest.mark.parametrize("provenance", ["unit", "minmaxprob"])
+    def test_cspa_cold(self, provenance):
+        facts = cspa_instance("httpd")
+        probs = None
+        if provenance != "unit":
+            rng = np.random.default_rng(11)
+            probs = {
+                name: (0.5 + 0.5 * rng.random(len(rows))).tolist()
+                for name, rows in facts.items()
+            }
+        interp = LobsterEngine(CSPA, provenance=provenance, cache=ProgramCache())
+        jit = LobsterEngine(
+            CSPA, provenance=provenance, cache=ProgramCache(), jit=True
+        )
+        dbi, _ = run_hot(interp, facts, probs=probs)
+        dbj, rj = run_hot(jit, facts, probs=probs)
+        assert rj.jit and rj.jit_deopt is None
+        assert_results_equal(
+            dbi, dbj, ["value_flow", "memory_alias", "value_alias"]
+        )
+
+    @pytest.mark.parametrize("provenance", ["unit", "minmaxprob"])
+    def test_tc_warm_incremental(self, provenance):
+        edges = TC_FACTS["edge"]
+        split = len(edges) - 25
+        rng = np.random.default_rng(3)
+        all_probs = (0.4 + 0.6 * rng.random(len(edges))).tolist()
+
+        def warm_run(engine):
+            for _ in range(4):
+                db = engine.create_database()
+                db.add_facts(
+                    "edge",
+                    edges[:split],
+                    None if provenance == "unit" else all_probs[:split],
+                )
+                engine.run(db)
+                db.add_facts(
+                    "edge",
+                    edges[split:],
+                    None if provenance == "unit" else all_probs[split:],
+                )
+                result = engine.run(db)
+            return db, result
+
+        interp = LobsterEngine(
+            TC_PROGRAM, provenance=provenance, cache=ProgramCache()
+        )
+        jit = LobsterEngine(
+            TC_PROGRAM, provenance=provenance, cache=ProgramCache(), jit=True
+        )
+        dbi, ri = warm_run(interp)
+        dbj, rj = warm_run(jit)
+        assert ri.incremental and rj.incremental
+        assert rj.jit and rj.jit_deopt is None
+        assert_results_equal(dbi, dbj, ["path"])
+
+    def test_tc_sharded_each_shard_jits(self):
+        interp = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), shards=2)
+        jit = LobsterEngine(
+            TC_PROGRAM, cache=ProgramCache(), shards=2, jit=True
+        )
+        dbi, _ = run_hot(interp, TC_FACTS)
+        dbj, rj = run_hot(jit, TC_FACTS)
+        assert rj.jit and rj.shards == 2
+        assert_results_equal(dbi, dbj, ["path"])
+        # Every shard device ran fused kernels, not just one.
+        for profile in rj.shard_profiles:
+            assert profile.instruction_counts.get("FusedKernel", 0) > 0
+
+    def test_maintain_pass_runs_fused(self):
+        edges = TC_FACTS["edge"]
+
+        def retract_run(engine):
+            for _ in range(4):
+                db = engine.create_database()
+                db.add_facts("edge", edges)
+                engine.run(db)
+                db.retract_facts("edge", edges[:15])
+                result = engine.run(db)
+            return db, result
+
+        interp = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        jit = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        dbi, ri = retract_run(interp)
+        dbj, rj = retract_run(jit)
+        assert ri.maintained and rj.maintained
+        assert rj.jit
+        assert_results_equal(dbi, dbj, ["path"])
+
+    def test_gradients_bitwise_equal(self):
+        edges = TC_FACTS["edge"]
+        rng = np.random.default_rng(5)
+        probs = (0.4 + 0.6 * rng.random(len(edges))).tolist()
+        grads = {}
+        grad_out = None
+        for jit in (False, True):
+            engine = LobsterEngine(
+                TC_PROGRAM,
+                provenance="diff-minmaxprob",
+                cache=ProgramCache(),
+                jit=jit,
+            )
+            db, result = run_hot(engine, TC_FACTS, probs={"edge": probs})
+            if jit:
+                assert result.jit
+            if grad_out is None:
+                grad_out = {row: 1.0 for row in db.result("path").rows()}
+            grads[jit] = engine.backward(db, "path", grad_out)
+        assert np.array_equal(grads[False], grads[True])
+
+    def test_recovery_restored_database_jits_correctly(self, tmp_path):
+        interp = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        jit = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        dbi, _ = run_hot(interp, TC_FACTS)
+        path = tmp_path / "tc.db"
+        interp.export_database(dbi, path)
+        # Warm the jit engine's trace, then run the restored database
+        # with fresh deltas through the code cache.
+        run_hot(jit, TC_FACTS)
+        extra = tc_edges(seed=99, n_edges=20)
+        restored = jit.import_database(path)
+        restored.add_facts("edge", extra)
+        rj = jit.run(restored)
+        assert rj.jit and rj.jit_deopt is None
+        db_ref = interp.create_database()
+        db_ref.add_facts("edge", TC_FACTS["edge"] + extra)
+        interp.run(db_ref)
+        assert_results_equal(db_ref, restored, ["path"])
+
+
+NEGATION_PROGRAM = """
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+rel blocked(x, y) :- candidate(x, y), not path(x, y).
+query blocked
+"""
+
+
+class TestDeopts:
+    def test_non_idempotent_oplus_deopts_with_reason(self):
+        dag = [(i, i + 1) for i in range(15)] + [(i, i + 2) for i in range(13)]
+        probs = [0.5] * len(dag)
+        interp = LobsterEngine(
+            TC_PROGRAM, provenance="addmultprob", cache=ProgramCache()
+        )
+        jit = LobsterEngine(
+            TC_PROGRAM, provenance="addmultprob", cache=ProgramCache(), jit=True
+        )
+        dbi, _ = run_hot(interp, {"edge": dag}, probs={"edge": probs})
+        dbj, rj = run_hot(jit, {"edge": dag}, probs={"edge": probs})
+        assert not rj.jit
+        assert rj.jit_deopt is not None
+        assert "non-idempotent" in rj.jit_deopt
+        assert_results_equal(dbi, dbj, ["path"])
+
+    def test_negation_variant_stays_interpreted(self):
+        facts = {
+            "edge": tc_edges(n_nodes=15, n_edges=30),
+            "candidate": [(i, j) for i in range(15) for j in range(0, 15, 3)],
+        }
+        interp = LobsterEngine(NEGATION_PROGRAM, cache=ProgramCache())
+        cache = ProgramCache()
+        jit = LobsterEngine(NEGATION_PROGRAM, cache=cache, jit=True)
+        dbi, _ = run_hot(interp, facts)
+        dbj, rj = run_hot(jit, facts)
+        # The path rules fuse; the negation rule is skipped, listed with
+        # its reason, and keeps executing through the interpreter.
+        trace = next(iter(cache._traces.values()))
+        assert trace.unsupported is None
+        assert any("negation" in reason for reason in trace.skipped.values())
+        assert rj.jit
+        assert_results_equal(dbi, dbj, ["path", "blocked"])
+
+    def test_region_selector_rejects_antiprobe(self):
+        engine = LobsterEngine(NEGATION_PROGRAM, cache=ProgramCache())
+        negated = [
+            variant
+            for stratum in engine.apm.strata
+            for rule in stratum.rules
+            for variant in rule.variants
+            if any(
+                type(instr).__name__ in ("AntiProbe", "PassIfEmpty")
+                for instr in variant.instructions
+            )
+        ]
+        assert negated
+        with pytest.raises(JitUnsupportedError, match="negation"):
+            select_regions(negated[0])
+
+    def test_guard_failure_deopts_cleanly(self):
+        cache = ProgramCache()
+        jit = LobsterEngine(TC_PROGRAM, cache=cache, jit=True)
+        run_hot(jit, TC_FACTS)
+        trace = next(iter(cache._traces.values()))
+        # Sabotage one kernel's specialization: its guard must now fail
+        # before any side effect, falling back to the interpreter.
+        kernel = next(iter(trace.kernels.values()))
+        kernel.tag_dtype = np.dtype(np.float32)
+        deopts_before = cache.stats.trace_deopts
+        db = jit.create_database()
+        db.add_facts("edge", TC_FACTS["edge"])
+        result = jit.run(db)
+        assert result.jit  # the unsabotaged kernels still ran fused
+        assert result.jit_deopt is not None
+        assert "tag dtype" in result.jit_deopt
+        assert cache.stats.trace_deopts > deopts_before
+        reference = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        db_ref = reference.create_database()
+        db_ref.add_facts("edge", TC_FACTS["edge"])
+        reference.run(db_ref)
+        assert_results_equal(db_ref, db, ["path"])
+
+    def test_every_kernel_sabotaged_means_fully_interpreted(self):
+        cache = ProgramCache()
+        jit = LobsterEngine(TC_PROGRAM, cache=cache, jit=True)
+        run_hot(jit, TC_FACTS)
+        trace = next(iter(cache._traces.values()))
+        for kernel in trace.kernels.values():
+            kernel.tag_dtype = np.dtype(np.float32)
+        db = jit.create_database()
+        db.add_facts("edge", TC_FACTS["edge"])
+        result = jit.run(db)
+        assert not result.jit
+        assert result.jit_deopt is not None
+
+
+class TestCodeCache:
+    def test_trace_stats_separate_from_plan_stats(self):
+        cache = ProgramCache()
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=cache, jit=JitConfig(hot_runs=1)
+        )
+        for _ in range(4):
+            db = engine.create_database()
+            db.add_facts("edge", TC_FACTS["edge"])
+            engine.run(db)
+        # Plan side: one compile, no further constructions.
+        assert cache.stats.misses == 1
+        # Trace side: warm run misses, recording run misses, then hits.
+        assert cache.stats.trace_misses == 2
+        assert cache.stats.trace_hits == 2
+        assert cache.stats.trace_lookups == 4
+        assert cache.stats.trace_deopts == 0
+
+    def test_invalidation_drops_the_trace_with_the_plan(self):
+        cache = ProgramCache()
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=cache, jit=JitConfig(hot_runs=0)
+        )
+        db, _ = run_hot(engine, TC_FACTS, n_runs=2)
+        assert cache._traces
+        assert cache.invalidate(engine.compiled.key)
+        assert not cache._traces
+
+    def test_signature_separates_databases(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        db = engine.create_database()
+        db.add_facts("edge", TC_FACTS["edge"])
+        signature = trace_signature(db)
+        assert "unit" in signature and "edge" in signature
+
+    def test_stale_apm_instance_is_a_miss(self):
+        cache = ProgramCache()
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=cache, jit=JitConfig(hot_runs=0)
+        )
+        db, _ = run_hot(engine, TC_FACTS, n_runs=2)
+        ((plan_key, signature),) = list(cache._traces)
+        hit = cache.get_trace(plan_key, signature, apm=engine.compiled.apm)
+        assert hit is not None
+        # A recompiled plan is a different ApmProgram instance: the trace
+        # must be treated as a miss and dropped, not dispatched stale.
+        miss = cache.get_trace(plan_key, signature, apm=object())
+        assert miss is None
+        assert not cache._traces
+
+    def test_dedup_whitelist_is_order_insensitive_only(self):
+        assert "unit" in DEDUP_SAFE_SEMIRINGS
+        assert "minmaxprob" in DEDUP_SAFE_SEMIRINGS
+        assert "addmultprob" not in DEDUP_SAFE_SEMIRINGS
+        assert "top-k-proofs-device" not in DEDUP_SAFE_SEMIRINGS
+
+
+class TestServingMetrics:
+    def test_session_jit_counters_and_report(self):
+        metrics = MetricsRegistry()
+        engine = LobsterEngine(
+            TC_PROGRAM, cache=ProgramCache(), jit=JitConfig(hot_runs=1)
+        )
+        session = LobsterSession(engine, metrics=metrics)
+        for _ in range(4):
+            db = session.create_database()
+            db.add_facts("edge", TC_FACTS["edge"])
+            session.submit(db)
+        report = session.run_all()
+        # Run 1 warm, run 2 records, runs 3-4 enter the code cache.
+        assert report.jit_runs == 2
+        assert report.jit_deopts == 0
+        assert metrics.counter("jit.trace_hits").value == 2
+        assert metrics.counter("jit.recordings").value == 1
+        assert metrics.counter("jit.deopts").value == 0
+
+    def test_session_deopt_counter(self):
+        metrics = MetricsRegistry()
+        cache = ProgramCache()
+        engine = LobsterEngine(
+            TC_PROGRAM,
+            provenance="addmultprob",
+            cache=cache,
+            jit=JitConfig(hot_runs=0),
+        )
+        session = LobsterSession(engine, metrics=metrics)
+        dag = [(i, i + 1) for i in range(10)]
+        for _ in range(2):
+            db = session.create_database()
+            db.add_facts("edge", dag, [0.5] * len(dag))
+            session.submit(db)
+        report = session.run_all()
+        assert report.jit_runs == 0
+        assert report.jit_deopts == 1  # run 1 records, run 2 deopts
+        assert metrics.counter("jit.deopts").value == 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_nodes=st.integers(4, 24),
+    n_edges=st.integers(4, 60),
+    hot_runs=st.integers(0, 3),
+    provenance=st.sampled_from(["unit", "minmaxprob"]),
+    split=st.floats(0.3, 0.9),
+    sabotage=st.booleans(),
+)
+def test_property_interpreted_vs_jit_bitwise_equal(
+    seed, n_nodes, n_edges, hot_runs, provenance, split, sabotage
+):
+    """At any hotness threshold, on cold and delta-seeded warm runs, and
+    across guard-failure deopt points, JIT'd execution is bitwise equal
+    to interpreted execution."""
+    rng = np.random.default_rng(seed)
+    edges = random_digraph(rng, n_nodes, n_edges)
+    if not edges:
+        return
+    probs = (
+        None
+        if provenance == "unit"
+        else (0.3 + 0.7 * rng.random(len(edges))).tolist()
+    )
+    cut = max(1, int(len(edges) * split))
+
+    def run_engine(jit):
+        cache = ProgramCache()
+        engine = LobsterEngine(
+            TC_PROGRAM,
+            provenance=provenance,
+            cache=cache,
+            jit=JitConfig(hot_runs=hot_runs) if jit else False,
+        )
+        for run_index in range(hot_runs + 3):
+            if jit and sabotage and run_index == hot_runs + 2 and cache._traces:
+                trace = next(iter(cache._traces.values()))
+                for kernel in list(trace.kernels.values())[:1]:
+                    kernel.tag_dtype = np.dtype(np.float16)
+            db = engine.create_database()
+            db.add_facts(
+                "edge", edges[:cut], probs[:cut] if probs else None
+            )
+            engine.run(db)
+            db.add_facts(
+                "edge", edges[cut:], probs[cut:] if probs else None
+            )
+            engine.run(db)
+        return db
+
+    dbi = run_engine(False)
+    dbj = run_engine(True)
+    assert_results_equal(dbi, dbj, ["path"])
