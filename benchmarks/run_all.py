@@ -98,8 +98,8 @@ def main() -> int:
         help=(
             "set LOBSTER_SCALEOUT_TINY=1, LOBSTER_SERVE_TINY=1, "
             "LOBSTER_STREAM_TINY=1, LOBSTER_PLANNER_TINY=1, "
-            "LOBSTER_RECOVERY_TINY=1, and LOBSTER_JIT_TINY=1 "
-            "(CI smoke sizes)"
+            "LOBSTER_RECOVERY_TINY=1, LOBSTER_JIT_TINY=1, and "
+            "LOBSTER_OBS_TINY=1 (CI smoke sizes)"
         ),
     )
     args = parser.parse_args()
@@ -119,6 +119,7 @@ def main() -> int:
         env["LOBSTER_PLANNER_TINY"] = "1"
         env["LOBSTER_RECOVERY_TINY"] = "1"
         env["LOBSTER_JIT_TINY"] = "1"
+        env["LOBSTER_OBS_TINY"] = "1"
 
     rows: list[tuple[str, str, str, int]] = []
     all_ok = True

@@ -37,6 +37,11 @@ Public API highlights:
   model behind the planner, and the plan-feedback loop that re-optimizes
   adaptive engines (``LobsterEngine(adaptive=True)``) when cardinalities
   drift.
+* :mod:`repro.obs` — deterministic end-to-end tracing on the modeled
+  clocks: span timelines from request to kernel
+  (``LobsterEngine(tracing=True)``, ``Scheduler(tracer=...)``), profile
+  reports, plan-vs-observed ``explain_run``, and Perfetto/Chrome
+  trace-event export — two same-seed runs export byte-identical JSON.
 * :mod:`repro.provenance` — the semiring library (discrete, probabilistic,
   differentiable).
 * :mod:`repro.baselines` — Scallop/Soufflé/ProbLog/FVLog stand-ins.
@@ -79,6 +84,7 @@ from .recovery import (
     import_database,
     recover,
 )
+from .obs import Span, Tracer, explain_run, export_perfetto, profile
 from .runtime.database import Database
 from .runtime.engine import ExecutionResult, LobsterEngine
 from .runtime.session import LobsterSession, SessionReport
@@ -110,7 +116,7 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "AdmissionController",
@@ -154,6 +160,7 @@ __all__ = [
     "SessionError",
     "SessionReport",
     "SlidingWindow",
+    "Span",
     "StaleViewError",
     "StatsCatalog",
     "StratificationError",
@@ -163,13 +170,17 @@ __all__ = [
     "TickDelta",
     "TicketNotRunError",
     "TraceGuardError",
+    "Tracer",
     "TumblingWindow",
     "UnknownTicketError",
     "ViewDelta",
     "VirtualDevice",
     "__version__",
     "default_cache",
+    "explain_run",
     "export_database",
+    "export_perfetto",
     "import_database",
+    "profile",
     "recover",
 ]

@@ -32,6 +32,7 @@ from .compiler import ApmProgram, CompiledStratum, Variant
 from .schedule import cached_plan
 from ..errors import DeviceOutOfMemory, ExecutionError, TraceGuardError
 from ..gpu import bytecode
+from ..obs import NULL_TRACER
 from ..gpu.device import ALLOC_LATENCY_S, VirtualDevice
 from ..gpu.hash_table import HashIndex
 from ..runtime.database import Database
@@ -90,6 +91,14 @@ class ApmInterpreter:
         #: deopting back here when a guard fails.
         self.jit_recorder = None
         self.jit_state = None
+        #: Tracing attachments (set by the engine around a run): the
+        #: tracer, a clock mapping this device's busy seconds onto the
+        #: modeled timeline, and the span new spans nest under.  The
+        #: defaults make every instrumentation site a single falsy
+        #: attribute read.
+        self.tracer = NULL_TRACER
+        self.trace_clock = None
+        self.trace_parent = None
 
     # ------------------------------------------------------------------
 
@@ -108,12 +117,16 @@ class ApmInterpreter:
         database.finalize()
         transfers = cached_plan(program, self.enable_stratum_scheduling)
         for index, stratum in enumerate(program.strata):
+            span = self._start_stratum_span(index, stratum)
             self._charge_transfers(transfers.get(index, ()), database, to_device=True)
             self.begin_stratum()
-            self._run_stratum(stratum, database, program, incremental)
-            self._charge_transfers(
-                transfers.get(index, ()), database, to_device=False
-            )
+            try:
+                self._run_stratum(stratum, database, program, incremental)
+                self._charge_transfers(
+                    transfers.get(index, ()), database, to_device=False
+                )
+            finally:
+                self._finish_stratum_span(span)
 
     def maintain(self, program: ApmProgram, database: Database) -> None:
         """DRed-style maintenance: keep ``database``'s fix point correct
@@ -149,7 +162,19 @@ class ApmInterpreter:
         negation, which over-delete/re-derive cannot express.
         """
         seeds = database.retraction_seeds()
-        doomed = self._over_delete(program, database, seeds)
+        opened = None
+        if self.tracer.enabled and self.trace_parent is not None:
+            span = self.tracer.start(
+                "maintain.over_delete",
+                t=self.trace_clock(),
+                parent=self.trace_parent,
+            )
+            opened = (span, self.trace_parent)
+            self.trace_parent = span
+        try:
+            doomed = self._over_delete(program, database, seeds)
+        finally:
+            self._finish_stratum_span(opened)
         affected = set(seeds)
         affected.update(name for name, mask in doomed.items() if mask.any())
         database.begin_delta_tracking()
@@ -165,13 +190,29 @@ class ApmInterpreter:
             )
             if not touched:
                 continue
+            span = self._start_stratum_span(index, stratum)
             self._charge_transfers(transfers.get(index, ()), database, to_device=True)
             self.begin_stratum()
-            self._rederive(stratum, database, program, removed)
-            self._run_stratum(stratum, database, program, incremental=True)
-            self._charge_transfers(
-                transfers.get(index, ()), database, to_device=False
-            )
+            try:
+                rederive_opened = None
+                if self.tracer.enabled and self.trace_parent is not None:
+                    rederive_span = self.tracer.start(
+                        "maintain.rederive",
+                        t=self.trace_clock(),
+                        parent=self.trace_parent,
+                    )
+                    rederive_opened = (rederive_span, self.trace_parent)
+                    self.trace_parent = rederive_span
+                try:
+                    self._rederive(stratum, database, program, removed)
+                finally:
+                    self._finish_stratum_span(rederive_opened)
+                self._run_stratum(stratum, database, program, incremental=True)
+                self._charge_transfers(
+                    transfers.get(index, ()), database, to_device=False
+                )
+            finally:
+                self._finish_stratum_span(span)
             for predicate in stratum.predicates:
                 if database.relation(predicate).n_changed():
                     affected.add(predicate)
@@ -382,6 +423,30 @@ class ApmInterpreter:
         frontier = newly.get(variant.frontier[0])
         return frontier is not None and bool(frontier.any())
 
+    def _start_stratum_span(self, index: int, stratum: CompiledStratum):
+        """Open a stratum span on the attached trace clock and make it
+        the parent for the spans the stratum's execution opens; returns
+        the previous parent for :meth:`_finish_stratum_span`."""
+        if not self.tracer.enabled or self.trace_parent is None:
+            return None
+        span = self.tracer.start(
+            "stratum",
+            t=self.trace_clock(),
+            parent=self.trace_parent,
+            index=index,
+            predicates=",".join(stratum.predicates),
+            recursive=stratum.recursive,
+        )
+        previous, self.trace_parent = self.trace_parent, span
+        return span, previous
+
+    def _finish_stratum_span(self, opened) -> None:
+        if opened is None:
+            return
+        span, previous = opened
+        self.tracer.finish(span, self.trace_clock())
+        self.trace_parent = previous
+
     def begin_stratum(self) -> None:
         """The per-stratum reset protocol, shared with the sharded
         executor (which drives strata itself): static hash indices are
@@ -430,6 +495,16 @@ class ApmInterpreter:
         while True:
             iteration += 1
             self.iterations_run += 1
+            opened = None
+            if self.tracer.enabled and self.trace_parent is not None:
+                span = self.tracer.start(
+                    "iteration",
+                    t=self.trace_clock(),
+                    parent=self.trace_parent,
+                    n=iteration,
+                )
+                opened = (span, self.trace_parent)
+                self.trace_parent = span
             deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
             for rule in stratum.rules:
                 if incremental and iteration == 1:
@@ -452,6 +527,9 @@ class ApmInterpreter:
                 delta = Table.concat(deltas[predicate], dtypes, provenance)
                 frontier += database.relation(predicate).advance(delta)
 
+            if opened is not None:
+                opened[0].attrs["frontier"] = frontier
+                self._finish_stratum_span(opened)
             if not stratum.recursive or frontier == 0:
                 break
             if iteration >= self.max_iterations:
@@ -476,6 +554,8 @@ class ApmInterpreter:
         rule over semijoin-filtered leaf scans.  Entries are consumed in
         Load order, which for an unoptimized variant is the RAM
         ``scans_of`` order."""
+        tracer = self.tracer
+        tracing = tracer.enabled and self.trace_parent is not None
         if load_tables is None:
             # Trace-JIT entry point.  Substituted-scan executions (the
             # DRed re-derive step) always interpret: their inputs are not
@@ -486,15 +566,46 @@ class ApmInterpreter:
             if state is not None:
                 kernel = state.kernels.get(id(variant))
                 if kernel is not None:
+                    start_s = self.trace_clock() if tracing else 0.0
                     try:
                         kernel.execute(self, database, deltas, iteration)
                     except TraceGuardError as exc:
                         # Guards fire before any side effect, so falling
                         # through to the interpreted loop is clean.
                         state.deopts.append(exc.reason)
+                        if tracing:
+                            tracer.event(
+                                "jit.deopt",
+                                t=self.trace_clock(),
+                                parent=self.trace_parent,
+                                reason=exc.reason,
+                                rule=variant.rule_key or "",
+                            )
                     else:
                         state.executed += 1
+                        if tracing:
+                            span = tracer.start(
+                                "variant",
+                                t=start_s,
+                                parent=self.trace_parent,
+                                kind="kernel",
+                                rule=variant.rule_key or "",
+                            )
+                            tracer.finish(span, self.trace_clock())
                         return
+        variant_span = None
+        if tracing:
+            # The interpreted (or deopted-to-interpreter) execution of
+            # this variant; ``kind`` tells the two apart from fused
+            # kernel dispatches in the profile.
+            variant_span = tracer.start(
+                "variant",
+                t=self.trace_clock(),
+                parent=self.trace_parent,
+                kind="interpreted",
+                rule=variant.rule_key or "",
+            )
+        kernel_trace = tracing and tracer.kernels
         registers: dict[str, np.ndarray] = {}
         provenance = database.provenance
         profile = self.device.profile
@@ -519,6 +630,8 @@ class ApmInterpreter:
 
         for instruction in variant.instructions:
             profile.record_instruction(type(instruction).__name__)
+            if kernel_trace:
+                kernel_start_s = self.trace_clock()
 
             if isinstance(instruction, I.Load):
                 table = None
@@ -647,6 +760,17 @@ class ApmInterpreter:
             else:
                 raise ExecutionError(f"unknown APM instruction {instruction!r}")
 
+            if kernel_trace:
+                span = tracer.start(
+                    type(instruction).__name__,
+                    t=kernel_start_s,
+                    parent=variant_span,
+                    kind="kernel",
+                )
+                tracer.finish(span, self.trace_clock())
+
+        if variant_span is not None:
+            tracer.finish(variant_span, self.trace_clock())
         if not self.enable_buffer_reuse:
             self._retained_bytes += sum(
                 value.nbytes

@@ -155,16 +155,27 @@ class ShardedExecutor:
             interpreter.feedback = local
         try:
             for index, stratum in enumerate(program.strata):
-                for shard in range(self.n_shards):
-                    self.interpreters[shard]._charge_transfers(
-                        transfers.get(index, ()), views[shard], to_device=True
-                    )
-                    self.interpreters[shard].begin_stratum()
-                self._run_stratum(stratum, program, views, feedback)
-                for shard in range(self.n_shards):
-                    self.interpreters[shard]._charge_transfers(
-                        transfers.get(index, ()), views[shard], to_device=False
-                    )
+                # Per-shard stratum spans (no-ops unless the engine
+                # attached tracers): each shard's lane shows its own
+                # stratum timeline on its own busy clock.
+                opened_spans = [
+                    interpreter._start_stratum_span(index, stratum)
+                    for interpreter in self.interpreters
+                ]
+                try:
+                    for shard in range(self.n_shards):
+                        self.interpreters[shard]._charge_transfers(
+                            transfers.get(index, ()), views[shard], to_device=True
+                        )
+                        self.interpreters[shard].begin_stratum()
+                    self._run_stratum(stratum, program, views, feedback)
+                    for shard in range(self.n_shards):
+                        self.interpreters[shard]._charge_transfers(
+                            transfers.get(index, ()), views[shard], to_device=False
+                        )
+                finally:
+                    for interpreter, opened in zip(self.interpreters, opened_spans):
+                        interpreter._finish_stratum_span(opened)
         finally:
             for interpreter in self.interpreters:
                 interpreter.feedback = None
@@ -220,6 +231,51 @@ class ShardedExecutor:
                 view.relations[name] = clone
         return views
 
+    def _exchange_snapshot(self) -> list[tuple[float, int]] | None:
+        """Per-device (exchange_seconds, exchange_bytes) before a
+        collective, or None when no shard is tracing."""
+        if not any(
+            interpreter.tracer.enabled and interpreter.trace_parent is not None
+            for interpreter in self.interpreters
+        ):
+            return None
+        return [
+            (device.profile.exchange_seconds, device.profile.exchange_bytes)
+            for device in self.devices
+        ]
+
+    def _trace_exchange(
+        self,
+        name: str,
+        predicate: str,
+        iteration: int,
+        before: list[tuple[float, int]] | None,
+    ) -> None:
+        """Spans for a collective's per-device cost: the exchange model
+        charged each sending device's busy clock during the call, so the
+        span is the [end - charged, end] window on that shard's lane."""
+        if before is None:
+            return
+        for shard, interpreter in enumerate(self.interpreters):
+            if not (
+                interpreter.tracer.enabled and interpreter.trace_parent is not None
+            ):
+                continue
+            profile = self.devices[shard].profile
+            charged_s = profile.exchange_seconds - before[shard][0]
+            if charged_s <= 0.0:
+                continue
+            end_s = interpreter.trace_clock()
+            span = interpreter.tracer.start(
+                name,
+                t=end_s - charged_s,
+                parent=interpreter.trace_parent,
+                predicate=predicate,
+                n=iteration,
+                bytes=profile.exchange_bytes - before[shard][1],
+            )
+            interpreter.tracer.finish(span, end_s)
+
     def _run_stratum(
         self,
         stratum: CompiledStratum,
@@ -243,18 +299,32 @@ class ShardedExecutor:
             self.iterations_run += 1
             shard_deltas: list[dict[str, list[Table]]] = []
             for shard in range(n):
+                interpreter = self.interpreters[shard]
+                opened = None
+                if interpreter.tracer.enabled and interpreter.trace_parent is not None:
+                    span = interpreter.tracer.start(
+                        "iteration",
+                        t=interpreter.trace_clock(),
+                        parent=interpreter.trace_parent,
+                        n=iteration,
+                    )
+                    opened = (span, interpreter.trace_parent)
+                    interpreter.trace_parent = span
                 deltas: dict[str, list[Table]] = {p: [] for p in stratum.predicates}
-                for rule_index, rule in enumerate(stratum.rules):
-                    if rule.edb_only:
-                        # Flat rules scan replicated FULL partitions only;
-                        # run each on one shard (round-robin) or every
-                        # shard would derive its output N times.
-                        if iteration > 1 or rule_index % n != shard:
-                            continue
-                    for variant in rule.variants:
-                        self.interpreters[shard]._execute_variant(
-                            variant, views[shard], deltas, iteration
-                        )
+                try:
+                    for rule_index, rule in enumerate(stratum.rules):
+                        if rule.edb_only:
+                            # Flat rules scan replicated FULL partitions only;
+                            # run each on one shard (round-robin) or every
+                            # shard would derive its output N times.
+                            if iteration > 1 or rule_index % n != shard:
+                                continue
+                        for variant in rule.variants:
+                            interpreter._execute_variant(
+                                variant, views[shard], deltas, iteration
+                            )
+                finally:
+                    interpreter._finish_stratum_span(opened)
                 shard_deltas.append(deltas)
 
             frontier = 0
@@ -269,11 +339,19 @@ class ShardedExecutor:
                         if table.n_rows:
                             feedback.record_shard(shard, table.n_rows)
                 # Route every derived row to its owner; ⊕-merge there.
+                before = self._exchange_snapshot()
                 owned = self.exchange.shuffle(local, dtypes, provenance)
+                self._trace_exchange(
+                    "exchange.shuffle", predicate, iteration, before
+                )
                 merged = [dedup_table(table, provenance) for table in owned]
                 # Owners broadcast their merged partitions; every shard
                 # folds the identical global delta into its replica.
+                before = self._exchange_snapshot()
                 global_delta = self.exchange.all_gather(merged, dtypes, provenance)
+                self._trace_exchange(
+                    "exchange.all_gather", predicate, iteration, before
+                )
                 advanced = 0
                 for shard in range(n):
                     advanced = views[shard].relation(predicate).advance(global_delta)

@@ -38,6 +38,7 @@ from .checkpoint import CheckpointStore, pack_payload, unpack_payload
 from .storage import LocalStorage
 from .wal import WriteAheadLog
 from ..errors import CheckpointMismatchError, CorruptLogError, LobsterError
+from ..obs import NULL_TRACER
 from ..runtime.database import Database
 from ..stream.view import MaterializedView, ViewDelta
 from ..stream.window import TickDelta, Window
@@ -91,6 +92,13 @@ class RecoveryManager:
         self.checkpoint_every = checkpoint_every
         self.keep_checkpoints = keep_checkpoints
         self.streams: dict[str, StreamEntry] = {}
+        #: Tracing attachments (set by the stream scheduler around a
+        #: durable tick): WAL appends and checkpoint swaps become
+        #: instant events under ``trace_parent`` at the tracer's modeled
+        #: cursor.  Durability has no modeled device cost, so instants —
+        #: not duration spans — are the honest representation.
+        self.tracer = NULL_TRACER
+        self.trace_parent = None
         existing = self.checkpoints.sequences()
         #: Sequence of the newest durable checkpoint; None until the
         #: lazy baseline (checkpoint 0) is written.  WAL appends target
@@ -154,10 +162,18 @@ class RecoveryManager:
         is recoverable: before the append the tick never happened (the
         live source regenerates it); after, replay re-applies it."""
         entry = self.entry(name)
-        self.wal.append(
+        nbytes = self.wal.append(
             self._seq,
             {"kind": "delta", "stream": name, "delta": delta.state_dict()},
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "wal.append",
+                parent=self.trace_parent,
+                stream=name,
+                segment=self._seq,
+                bytes=nbytes,
+            )
         view_delta = entry.view.apply(delta, runner=runner)
         self._applies_since += 1
         if self._applies_since >= self.checkpoint_every:
@@ -165,7 +181,7 @@ class RecoveryManager:
         return view_delta
 
     def _log_cursor(self, stream: str, sub: str, cursor: int, epoch: int) -> None:
-        self.wal.append(
+        nbytes = self.wal.append(
             self._seq,
             {
                 "kind": "cursor",
@@ -175,6 +191,14 @@ class RecoveryManager:
                 "epoch": epoch,
             },
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "wal.cursor",
+                parent=self.trace_parent,
+                stream=stream,
+                sub=sub,
+                bytes=nbytes,
+            )
 
     def checkpoint(self) -> int:
         """Snapshot all streams now (atomic swap), roll the WAL to a
@@ -183,6 +207,10 @@ class RecoveryManager:
         self._ensure_baseline()
         self._seq += 1
         self.checkpoints.save(self._seq, self._payload())
+        if self.tracer.enabled:
+            self.tracer.event(
+                "checkpoint.swap", parent=self.trace_parent, seq=self._seq
+            )
         self._applies_since = 0
         retained = self.checkpoints.prune(self.keep_checkpoints)
         if retained:

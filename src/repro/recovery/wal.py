@@ -72,12 +72,16 @@ class WriteAheadLog:
 
     # -- writing -------------------------------------------------------
 
-    def append(self, seq: int, record: dict) -> None:
-        """Durably append one record to segment ``seq``.  The record is
-        only considered applied once this returns — a crash mid-append
-        leaves a torn tail that replay drops, which is correct because
-        the in-memory apply for that record never ran."""
-        self.storage.append(self.name(seq), frame(encode(record)))
+    def append(self, seq: int, record: dict) -> int:
+        """Durably append one record to segment ``seq``; returns the
+        framed byte length written (observability: the tracer's
+        ``wal.append`` events carry it).  The record is only considered
+        applied once this returns — a crash mid-append leaves a torn
+        tail that replay drops, which is correct because the in-memory
+        apply for that record never ran."""
+        framed = frame(encode(record))
+        self.storage.append(self.name(seq), framed)
+        return len(framed)
 
     # -- reading -------------------------------------------------------
 

@@ -64,6 +64,7 @@ from ..jit import (
     compile_trace,
     trace_signature,
 )
+from ..obs import NULL_TRACER, Tracer
 from ..provenance import registry
 from ..provenance.base import Provenance
 from ..stats.estimate import CostModel
@@ -202,6 +203,7 @@ class LobsterEngine:
         adaptive: bool = False,
         replan_drift: float = 8.0,
         jit: bool | JitConfig = False,
+        tracing: bool | Tracer = False,
         **provenance_kwargs,
     ):
         """``cache=None`` (default) uses the process-wide program cache;
@@ -238,8 +240,20 @@ class LobsterEngine:
         :attr:`ExecutionResult.jit_deopt`.  Traces live next to their
         plan in the :class:`ProgramCache`, so ``cache=False`` is
         rejected, and drift-triggered re-planning invalidates them.
+
+        ``tracing=True`` (or a :class:`~repro.obs.Tracer`) collects span
+        timelines for every run on the modeled clocks — plan selection,
+        strata, iterations, kernel-vs-interpreted variants, shard
+        exchanges — exportable via
+        :meth:`~repro.obs.Tracer.export_perfetto`.  Tracing never
+        charges the device, so traced results are bitwise identical to
+        untraced ones.
         """
         self.source = source
+        if tracing is True:
+            tracing = Tracer()
+        #: The engine's tracer (:data:`~repro.obs.NULL_TRACER` when off).
+        self.tracer = tracing or NULL_TRACER
         self.batched = batched
         self.optimizations = optimizations or OptimizationConfig()
         self.max_iterations = max_iterations
@@ -525,6 +539,8 @@ class LobsterEngine:
         maintain: bool | None = None,
         reset_profile: bool = True,
         _interpreter: ApmInterpreter | None = None,
+        tracer: Tracer | None = None,
+        span_parent=None,
     ) -> ExecutionResult:
         """Execute the program to fix point against ``database``.
 
@@ -556,7 +572,14 @@ class LobsterEngine:
         ``reset_profile=False`` accumulates device counters instead of
         zeroing them (used by sessions sharing one device); the returned
         profile still covers only this run.
+
+        ``tracer`` overrides the engine's own (the serve scheduler
+        passes its serve-clock tracer so run spans nest under the
+        micro-batch span supplied as ``span_parent``); the run span is
+        anchored at the tracer's clock cursor and advances it by the
+        run's modeled service seconds.
         """
+        run_tracer = tracer if tracer is not None else self.tracer
         active = self._select_plan(database)
         feedback: PlanFeedback | None = None
         replanned = False
@@ -571,6 +594,20 @@ class LobsterEngine:
         jit_recorder, jit_state, jit_reason = self._prepare_jit(
             active, database, feedback
         )
+        run_span = None
+        if run_tracer.enabled:
+            run_span = run_tracer.start(
+                "engine.run",
+                parent=span_parent,
+                plan=active.key[:12],
+                cache_hit=self.cache_hit,
+                provenance=self.provenance_name,
+                stats_bucket=active.stats_bucket or "",
+            )
+            if replanned:
+                run_tracer.event(
+                    "plan.replan", parent=run_span, plan=active.key[:12]
+                )
         if self._use_sharded() and _interpreter is None:
             result = self._run_sharded(
                 database,
@@ -581,6 +618,8 @@ class LobsterEngine:
                 reset_profile=reset_profile,
                 jit_recorder=jit_recorder,
                 jit_state=jit_state,
+                tracer=run_tracer,
+                run_span=run_span,
             )
         else:
             result = self._run_single(
@@ -593,6 +632,8 @@ class LobsterEngine:
                 _interpreter=_interpreter,
                 jit_recorder=jit_recorder,
                 jit_state=jit_state,
+                tracer=run_tracer,
+                run_span=run_span,
             )
         if jit_recorder is not None and self._program_cache is not None:
             # The recording run executed interpreted; compile its trace
@@ -637,6 +678,32 @@ class LobsterEngine:
                 # recompile per batch.
                 self._drift_invalidated.add(active.key)
                 self._program_cache.invalidate(active.key)
+                if run_span is not None:
+                    run_tracer.event(
+                        "plan.invalidate",
+                        t=run_span.start_s + result.service_seconds,
+                        parent=run_span,
+                        plan=active.key[:12],
+                        drift=round(feedback.max_drift(), 3),
+                    )
+        if run_span is not None:
+            run_span.attrs.update(
+                iterations=result.iterations,
+                incremental=result.incremental,
+                maintained=result.maintained,
+                shards=result.shards,
+                jit=result.jit,
+                jit_recorded=result.jit_recorded,
+            )
+            if result.jit_deopt is not None:
+                run_span.attrs["jit_deopt"] = result.jit_deopt
+            if result.maintain_fallback is not None:
+                run_span.attrs["maintain_fallback"] = result.maintain_fallback
+            end = run_span.start_s + result.service_seconds
+            run_tracer.finish(run_span, end)
+            # Advance the modeled cursor: the next run on this tracer
+            # starts where this one's device occupancy ended.
+            run_tracer.set_time(end)
         return result
 
     def _run_single(
@@ -651,6 +718,8 @@ class LobsterEngine:
         _interpreter: ApmInterpreter | None,
         jit_recorder: TraceRecorder | None = None,
         jit_state: JitRunState | None = None,
+        tracer=NULL_TRACER,
+        run_span=None,
     ) -> ExecutionResult:
         device = _interpreter.device if _interpreter is not None else self.device
         if reset_profile:
@@ -717,6 +786,13 @@ class LobsterEngine:
         interpreter.feedback = run_feedback
         interpreter.jit_recorder = jit_recorder
         interpreter.jit_state = jit_state
+        if run_span is not None:
+            # Interior spans (strata, iterations, variants) timestamp
+            # themselves off the device's busy clock, anchored at the
+            # run span's start on the modeled timeline.
+            interpreter.tracer = tracer
+            interpreter.trace_clock = tracer.device_clock(device)
+            interpreter.trace_parent = run_span
         start = time.perf_counter()
         try:
             if run_maintain:
@@ -727,6 +803,9 @@ class LobsterEngine:
             interpreter.feedback = None
             interpreter.jit_recorder = None
             interpreter.jit_state = None
+            interpreter.tracer = NULL_TRACER
+            interpreter.trace_clock = None
+            interpreter.trace_parent = None
         wall = time.perf_counter() - start
         database.evaluated = True
         # The result always carries its own per-run counter copy — the
@@ -758,6 +837,8 @@ class LobsterEngine:
         reset_profile: bool,
         jit_recorder: TraceRecorder | None = None,
         jit_state: JitRunState | None = None,
+        tracer=NULL_TRACER,
+        run_span=None,
     ) -> ExecutionResult:
         """Execute across the shard pool via the sharded executor.
 
@@ -813,13 +894,31 @@ class LobsterEngine:
         for interpreter in executor.interpreters:
             interpreter.jit_recorder = jit_recorder
             interpreter.jit_state = jit_state
+        if run_span is not None:
+            # One lane per shard: each shard's interior spans timestamp
+            # off its own device's busy clock, all anchored at the run
+            # span's start (shards execute concurrently in the model).
+            for shard, (interpreter, shard_device) in enumerate(
+                zip(executor.interpreters, self.shard_devices)
+            ):
+                shard_span = tracer.start(
+                    "shard", parent=run_span, track=f"shard{shard}", shard=shard
+                )
+                interpreter.tracer = tracer
+                interpreter.trace_clock = tracer.device_clock(shard_device)
+                interpreter.trace_parent = shard_span
         start = time.perf_counter()
         try:
             executor.run(apm, database, feedback=run_feedback)
         finally:
             for interpreter in executor.interpreters:
+                if interpreter.trace_parent is not None:
+                    tracer.finish(interpreter.trace_parent, interpreter.trace_clock())
                 interpreter.jit_recorder = None
                 interpreter.jit_state = None
+                interpreter.tracer = NULL_TRACER
+                interpreter.trace_clock = None
+                interpreter.trace_parent = None
         wall = time.perf_counter() - start
         database.evaluated = True
         shard_profiles = [

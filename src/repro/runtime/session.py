@@ -141,11 +141,18 @@ class LobsterSession:
         engine: LobsterEngine,
         pool: DevicePool | None = None,
         metrics=None,
+        tracer=None,
     ):
         """``metrics`` (a :class:`~repro.serve.metrics.MetricsRegistry`,
         or anything with the same ``counter``/``histogram`` shape)
         instruments every query this session runs — counts, incremental
-        hits, and the modeled per-query service-time distribution."""
+        hits, and the modeled per-query service-time distribution.
+
+        ``tracer`` (a :class:`~repro.obs.Tracer`) overrides the engine's
+        own tracer for queries run through this session — the serving
+        scheduler passes its serve-clock tracer here so engine-run spans
+        nest under the micro-batch spans.  ``None`` defers to whatever
+        the engine was constructed with."""
         if pool is not None and engine._use_sharded():
             raise LobsterError(
                 "pick one scaling axis per session: a sharded engine splits "
@@ -155,6 +162,7 @@ class LobsterSession:
         self.engine = engine
         self.pool = pool
         self.metrics = metrics
+        self.tracer = tracer
         self._queries: dict[int, SubmittedQuery] = {}
         self._next_ticket = 0
         self._lock = threading.Lock()  # queue + ticket counter
@@ -295,6 +303,7 @@ class LobsterSession:
         *,
         device_index: int | None = None,
         retain: bool = True,
+        span_parent=None,
     ) -> list[ExecutionResult]:
         """The serving scheduler's single-batch step: run ``databases``
         back-to-back on **one** device, returning the per-query results
@@ -359,19 +368,33 @@ class LobsterSession:
                 queries = [
                     SubmittedQuery(-1, database) for database in databases
                 ]
-            return [self._execute(query, interpreter) for query in queries]
+            return [
+                self._execute(query, interpreter, span_parent=span_parent)
+                for query in queries
+            ]
 
     def _execute(
-        self, query: SubmittedQuery, interpreter: ApmInterpreter | None
+        self,
+        query: SubmittedQuery,
+        interpreter: ApmInterpreter | None,
+        span_parent=None,
     ) -> ExecutionResult:
         """Run one query on ``interpreter`` (``None`` = the engine's own
         path, used for sharded engines), recording metrics if a registry
         is attached.  Caller holds the drain lock."""
+        kwargs = {}
+        if self.tracer is not None:
+            kwargs["tracer"] = self.tracer
+        if span_parent is not None:
+            kwargs["span_parent"] = span_parent
         if interpreter is None:
-            result = self.engine.run(query.database, reset_profile=False)
+            result = self.engine.run(query.database, reset_profile=False, **kwargs)
         else:
             result = self.engine.run(
-                query.database, reset_profile=False, _interpreter=interpreter
+                query.database,
+                reset_profile=False,
+                _interpreter=interpreter,
+                **kwargs,
             )
         query.result = result
         if self.metrics is not None:

@@ -188,8 +188,11 @@ class Histogram:
             return NotImplemented
         return self.state() == other.state()
 
-    def __hash__(self) -> int:  # histograms are mutable; identity-hash
-        return id(self)
+    # Value equality over mutable state makes hashing unsound: two equal
+    # histograms would need equal hashes, but the next observe() changes
+    # the state.  Unhashable, like list and dict; key sets by identity
+    # explicitly (id()) or by name instead.
+    __hash__ = None
 
     def __repr__(self) -> str:
         if not self.count:
@@ -237,15 +240,19 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, object]:
         """Plain-value view: counters/gauges to numbers, histograms to
-        their canonical state tuples."""
+        their canonical state tuples.  Keys are in sorted-name order (as
+        :meth:`render` reports), so serializing a snapshot without
+        re-sorting is already deterministic across runs that created
+        instruments in different orders."""
         with self._lock:
             out: dict[str, object] = {}
-            for name, counter in self._counters.items():
-                out[name] = counter.value
-            for name, gauge in self._gauges.items():
+            for name in sorted(self._counters):
+                out[name] = self._counters[name].value
+            for name in sorted(self._gauges):
+                gauge = self._gauges[name]
                 out[name] = (gauge.value, gauge.max_value)
-            for name, histogram in self._histograms.items():
-                out[name] = histogram.state()
+            for name in sorted(self._histograms):
+                out[name] = self._histograms[name].state()
             return out
 
     def render(self, title: str = "metrics") -> str:

@@ -59,6 +59,7 @@ from .request import (
 )
 from ..dist.pool import DevicePool
 from ..errors import LobsterError
+from ..obs import NULL_TRACER, Tracer
 from ..runtime.session import LobsterSession
 
 __all__ = ["Scheduler", "ServeReport"]
@@ -177,8 +178,19 @@ class Scheduler:
         classes: dict[str, SLOClass] | None = None,
         admission: AdmissionController | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
+        """``tracer`` (a :class:`~repro.obs.Tracer`) records span
+        timelines on the serve clock for every sampled request —
+        admission verdict, queue wait, micro-batch membership, and the
+        engine-run tree down to kernels — exportable to Perfetto.  The
+        tracer's ``sample_every`` picks which tickets are traced;
+        batches with no sampled member run with tracing muted, so
+        sampling bounds trace volume without touching the schedule."""
         self.pool = pool or DevicePool(n_devices, policy="least-loaded")
+        self.tracer = tracer or NULL_TRACER
+        #: Open request spans of the current drain, by ticket.
+        self._request_spans: dict[int, object] = {}
         self.classes = dict(classes) if classes is not None else default_slo_classes()
         self.metrics = metrics or MetricsRegistry()
         self.admission = admission or AdmissionController(self.classes)
@@ -264,6 +276,7 @@ class Scheduler:
         arrivals.sort(key=lambda r: (r.arrival_s, r.ticket))
 
         self.outcomes = {}  # this drain's records only (no unbounded growth)
+        self._request_spans = {}
         queue = RequestQueue(self.classes)
         self._queue = queue
         run_outcomes: list[Outcome] = []
@@ -336,6 +349,27 @@ class Scheduler:
         reason = self.admission.decide(
             request, now=now, queue=queue, free_at=free_at
         )
+        tracer = self.tracer
+        span = None
+        if tracer.enabled and tracer.sampled(request.ticket):
+            # One lane per sampled request: the span runs arrival to
+            # terminal outcome, children account every waiting and
+            # serving phase of the latency.
+            span = tracer.start(
+                "serve.request",
+                t=request.arrival_s,
+                track=f"request#{request.ticket}",
+                ticket=request.ticket,
+                slo=request.slo,
+            )
+            self._request_spans[request.ticket] = span
+            tracer.event(
+                "serve.admission",
+                t=now,
+                parent=span,
+                verdict="rejected" if reason is not None else "admitted",
+                reason=reason or "",
+            )
         if reason is not None:
             outcome = Outcome(
                 ticket=request.ticket,
@@ -346,6 +380,10 @@ class Scheduler:
                 meta=request.meta,
             )
             self._record(outcome, run_outcomes)
+            if span is not None:
+                span.attrs["status"] = REJECTED
+                tracer.finish(span, now)
+                del self._request_spans[request.ticket]
             return
         queue.push(request)
         self.metrics.counter("serve.admitted").inc()
@@ -383,6 +421,14 @@ class Scheduler:
                     meta=request.meta,
                 )
                 self._record(outcome, run_outcomes)
+                span = self._request_spans.pop(request.ticket, None)
+                if span is not None:
+                    wait = self.tracer.start(
+                        "queue.wait", t=request.arrival_s, parent=span
+                    )
+                    self.tracer.finish(wait, now)
+                    span.attrs["status"] = SHED
+                    self.tracer.finish(span, now)
                 continue
             batch.append(request)
         self.metrics.gauge(f"serve.queue_depth.{group.slo}").set(
@@ -395,13 +441,42 @@ class Scheduler:
             policy="least-loaded", eligible=free_devices
         )
         session = self._session_for(batch[0])
-        # retain=False: outcomes own the results; the long-lived session
-        # must not grow a bookkeeping record per served request.
-        results = session.run_batch(
-            [request.database for request in batch],
-            device_index=device_index,
-            retain=False,
-        )
+        tracer = self.tracer
+        batch_span = None
+        if tracer.enabled and any(
+            request.ticket in self._request_spans for request in batch
+        ):
+            # The batch occupies the device [now, now + sum(services)];
+            # engine-run spans nest under it on the device's lane.  The
+            # cursor is pinned to the dispatch time so those run spans
+            # anchor exactly where the outcome fan-out puts them.
+            batch_span = tracer.start(
+                "serve.batch",
+                t=now,
+                track=f"device{device_index}",
+                device=device_index,
+                slo=group.slo,
+                size=len(batch),
+            )
+            tracer.set_time(now)
+            results = session.run_batch(
+                [request.database for request in batch],
+                device_index=device_index,
+                retain=False,
+                span_parent=batch_span,
+            )
+            tracer.finish(batch_span, tracer.now)
+        else:
+            # retain=False: outcomes own the results; the long-lived
+            # session must not grow a bookkeeping record per request.
+            # A batch with no sampled member runs muted, so an
+            # engine-level tracer does not emit orphan run spans.
+            with tracer.muted():
+                results = session.run_batch(
+                    [request.database for request in batch],
+                    device_index=device_index,
+                    retain=False,
+                )
         start = now
         elapsed = 0.0
         for request, result in zip(batch, results):
@@ -423,6 +498,26 @@ class Scheduler:
             )
             self._record(outcome, run_outcomes)
             self.admission.estimator.observe(request.program_key, service)
+            span = self._request_spans.pop(request.ticket, None)
+            if span is not None:
+                # Three children summing exactly to the latency: waiting
+                # for dispatch, waiting for batch predecessors, serving.
+                wait = tracer.start("queue.wait", t=request.arrival_s, parent=span)
+                tracer.finish(wait, start)
+                turn = tracer.start("batch.wait", t=start, parent=span)
+                tracer.finish(turn, finish - service)
+                execute = tracer.start(
+                    "serve.execute",
+                    t=finish - service,
+                    parent=span,
+                    device=device_index,
+                    batch_size=len(batch),
+                )
+                if batch_span is not None:
+                    execute.attrs["batch_span"] = batch_span.span_id
+                tracer.finish(execute, finish)
+                span.attrs["status"] = COMPLETED
+                tracer.finish(span, finish)
         free_at[device_index] = start + elapsed
         self.metrics.counter("serve.batches").inc()
         self.metrics.histogram("serve.batch_size", lo=1.0, growth=1.25).observe(
@@ -456,7 +551,10 @@ class Scheduler:
         session = self._sessions.get(key)
         if session is None:
             session = LobsterSession(
-                request.engine, pool=self.pool, metrics=self.metrics
+                request.engine,
+                pool=self.pool,
+                metrics=self.metrics,
+                tracer=self.tracer if self.tracer is not NULL_TRACER else None,
             )
             self._sessions[key] = session
         return session

@@ -38,6 +38,7 @@ from .metrics import MetricsRegistry
 from .scheduler import seed_free_at
 from ..dist.pool import DevicePool
 from ..errors import LobsterError
+from ..obs import NULL_TRACER, Tracer
 from ..runtime.session import LobsterSession
 from ..stream.view import MaterializedView, ViewDelta
 from ..stream.window import TickDelta, Window
@@ -99,6 +100,7 @@ class StreamScheduler:
         metrics: MetricsRegistry | None = None,
         max_lag_ticks: float = 4.0,
         durability: "RecoveryManager | None" = None,
+        tracer: Tracer | None = None,
     ):
         """Share ``pool`` and ``metrics`` with a request
         :class:`~repro.serve.scheduler.Scheduler` to co-locate
@@ -107,9 +109,13 @@ class StreamScheduler:
         ``durability`` (a :class:`~repro.recovery.RecoveryManager`)
         routes every applied tick through the WAL + checkpoint path, so
         a restarted process resumes mid-stream via
-        :func:`repro.recovery.recover`."""
+        :func:`repro.recovery.recover`.  ``tracer`` (a
+        :class:`~repro.obs.Tracer`, sharable with the request scheduler)
+        records per-tick span timelines — the maintain run tree plus WAL
+        append / checkpoint swap events when ``durability`` is set."""
         self.pool = pool or DevicePool(n_devices, policy="least-loaded")
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
         self.max_lag_ticks = max_lag_ticks
         self.durability = durability
         self.streams: list[RegisteredStream] = []
@@ -158,7 +164,12 @@ class StreamScheduler:
         key = view.engine.program_key
         session = self._sessions.get(key)
         if session is None:
-            session = LobsterSession(view.engine, pool=self.pool, metrics=self.metrics)
+            session = LobsterSession(
+                view.engine,
+                pool=self.pool,
+                metrics=self.metrics,
+                tracer=self.tracer if self.tracer is not NULL_TRACER else None,
+            )
             self._sessions[key] = session
         return session
 
@@ -209,16 +220,48 @@ class StreamScheduler:
                     applied += 1
                     entry.next_due_s += entry.period_s
             session = self._session_for(entry.view)
+            tracer = self.tracer
+            tick_span = None
+            if tracer.enabled:
+                tick_span = tracer.start(
+                    "stream.tick",
+                    t=start,
+                    track=f"stream/{entry.name}",
+                    stream=entry.name,
+                    tick=entry.feed.next_tick,
+                    ticks=applied,
+                    device=device_index,
+                    lag_s=round(lag, 9),
+                )
+                # Pin the cursor so the maintain run's span tree anchors
+                # at this tick's start on the serve clock.
+                tracer.set_time(start)
             runner = lambda db: session.run_batch(  # noqa: E731
-                [db], device_index=device_index, retain=False
+                [db],
+                device_index=device_index,
+                retain=False,
+                span_parent=tick_span,
             )[0]
             if self.durability is not None:
-                view_delta = self.durability.apply(
-                    entry.name, delta, runner=runner
-                )
+                if tick_span is not None:
+                    self.durability.tracer = tracer
+                    self.durability.trace_parent = tick_span
+                try:
+                    view_delta = self.durability.apply(
+                        entry.name, delta, runner=runner
+                    )
+                finally:
+                    if tick_span is not None:
+                        self.durability.tracer = NULL_TRACER
+                        self.durability.trace_parent = None
             else:
                 view_delta = entry.view.apply(delta, runner=runner)
             finish = start + view_delta.service_seconds
+            if tick_span is not None:
+                tick_span.attrs["maintained"] = view_delta.maintained
+                if view_delta.fallback is not None:
+                    tick_span.attrs["fallback"] = view_delta.fallback
+                tracer.finish(tick_span, finish)
             free_at[device_index] = finish
             entry.ticks_applied += applied
 

@@ -1,0 +1,159 @@
+"""ExecutionResult observability fields across execution paths.
+
+Every trace attribute the obs/ layer exports originates in the fields
+under test here — ``jit``, ``jit_recorded``, ``jit_deopt``,
+``maintained``, ``maintain_fallback``, ``replanned``, ``shards``,
+``shard_profiles``, ``incremental``, ``feedback`` — so each execution
+path (cold, warm incremental, jit'd, deopted, sharded, maintained,
+adaptive) must report them consistently: flags that exclude each other
+never co-assert, and a fallback reason is present exactly when the flag
+says the fast path was not taken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LobsterEngine, ProgramCache
+from repro.gpu.device import DeviceProfile
+
+from _helpers import TC_PROGRAM, random_digraph
+
+EDGES = random_digraph(np.random.default_rng(11), 30, 80)
+
+
+def run_fresh(engine, edges=EDGES, probs=None, n_runs=1):
+    """Run ``n_runs`` fresh databases; return the last result."""
+    result = None
+    for _ in range(n_runs):
+        db = engine.create_database()
+        db.add_facts("edge", edges, probs)
+        result = engine.run(db)
+    return result
+
+
+def assert_flags_consistent(result):
+    """The cross-field invariants every path must satisfy."""
+    # Executing from the code cache and recording for it are distinct
+    # lifecycle phases of distinct runs.
+    assert not (result.jit and result.jit_recorded)
+    # A maintain fallback reason exists only when the run did NOT
+    # maintain in place.
+    if result.maintained:
+        assert result.maintain_fallback is None
+    if result.maintain_fallback is not None:
+        assert not result.maintained
+    # Shard accounting: the merged profile is the per-shard profiles'
+    # counter-wise merge, and the list length matches the shard count.
+    if result.shard_profiles is not None:
+        assert len(result.shard_profiles) == result.shards
+        merged = DeviceProfile.merge(result.shard_profiles)
+        assert merged.kernel_launches == result.profile.kernel_launches
+        assert merged.busy_seconds == result.profile.busy_seconds
+    else:
+        assert result.shards == 1
+
+
+class TestColdPath:
+    def test_cold_run_reports_quiescent_defaults(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        result = run_fresh(engine)
+        assert_flags_consistent(result)
+        assert result.jit is False
+        assert result.jit_recorded is False
+        assert result.jit_deopt is None
+        assert result.incremental is False
+        assert result.maintained is False
+        assert result.maintain_fallback is None
+        assert result.replanned is False
+        assert result.shards == 1
+        assert result.shard_profiles is None
+        assert result.feedback is None  # non-adaptive: no collection
+        assert result.iterations > 0
+
+
+class TestWarmPaths:
+    def test_incremental_run_flags_incremental(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        db = engine.create_database()
+        db.add_facts("edge", EDGES[:40])
+        engine.run(db)
+        db.add_facts("edge", EDGES[40:])
+        warm = engine.run(db)
+        assert_flags_consistent(warm)
+        assert warm.incremental
+        assert warm.maintained is False
+
+    def test_maintain_run_flags_maintained_without_fallback(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache())
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1), (1, 2), (2, 3), (0, 3)])
+        engine.run(db)
+        db.retract_facts("edge", [(0, 1)])
+        result = engine.run(db)
+        assert_flags_consistent(result)
+        assert result.maintained
+        assert result.maintain_fallback is None
+
+    def test_sharded_maintain_fallback_reports_reason_and_shards(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), shards=2)
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1), (1, 2), (2, 3), (0, 3)])
+        engine.run(db)
+        db.retract_facts("edge", [(1, 2)])
+        result = engine.run(db)
+        assert_flags_consistent(result)
+        assert not result.maintained
+        assert "sharded" in result.maintain_fallback
+        assert result.shards == 2
+
+
+class TestJitPaths:
+    def test_lifecycle_fields_over_the_hotness_phases(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), jit=True)
+        phases = []
+        for _ in range(5):
+            result = run_fresh(engine)
+            assert_flags_consistent(result)
+            phases.append((result.jit, result.jit_recorded))
+        # Interpreted warm-up, one recording run, then code-cache entry.
+        assert (True, False) in phases
+        record_at = phases.index((False, True))
+        assert all(jit for jit, _ in phases[record_at + 1 :])
+
+    def test_unsupported_semiring_deopts_with_reason(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, provenance="addmultprob", cache=ProgramCache(), jit=True
+        )
+        # Acyclic on purpose: a non-idempotent ⊕ over a cycle would keep
+        # accumulating mass and never saturate the fixpoint.
+        dag = [(i, i + 1) for i in range(15)] + [(i, i + 2) for i in range(13)]
+        result = run_fresh(engine, edges=dag, probs=[0.5] * len(dag), n_runs=4)
+        assert_flags_consistent(result)
+        assert not result.jit
+        assert result.jit_deopt is not None
+        assert "non-idempotent" in result.jit_deopt
+
+
+class TestShardedPath:
+    def test_shard_profiles_cover_every_shard(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), shards=3)
+        result = run_fresh(engine)
+        assert_flags_consistent(result)
+        assert result.shards == 3
+        assert len(result.shard_profiles) == 3
+        assert all(p.kernel_launches > 0 for p in result.shard_profiles)
+
+
+class TestAdaptivePath:
+    def test_replanned_and_feedback_populate_together(self):
+        engine = LobsterEngine(TC_PROGRAM, cache=ProgramCache(), adaptive=True)
+        first = run_fresh(engine)
+        assert_flags_consistent(first)
+        assert first.replanned  # compile-time plan -> stats-bucket plan
+        assert first.feedback is not None
+        assert first.feedback.stats_bucket is not None
+        assert first.feedback.rule_estimates
+        second = run_fresh(engine)
+        assert_flags_consistent(second)
+        assert second.replanned is False  # same shape: plan reused

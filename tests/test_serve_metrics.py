@@ -77,6 +77,22 @@ class TestHistogram:
         b.observe(2.0)
         assert a != b
 
+    def test_unhashable_value_semantics(self):
+        # Regression: __eq__ compares mutable value state, so an
+        # identity __hash__ violated the eq/hash invariant (equal
+        # histograms hashed unequal).  Histograms are unhashable now,
+        # like list and dict.
+        a, b = Histogram("a"), Histogram("b")
+        a.observe(1.0)
+        b.observe(1.0)
+        assert a == b
+        with pytest.raises(TypeError):
+            hash(a)
+        with pytest.raises(TypeError):
+            {a: 1}
+        # Keying by identity is still available, explicitly.
+        assert {id(a): "a", id(b): "b"}[id(a)] == "a"
+
     def test_overflow_and_underflow_clamp(self):
         hist = Histogram("h", lo=1e-3, hi=1.0)
         hist.observe(1e-9)  # -> bucket 0
@@ -135,6 +151,39 @@ class TestRegistry:
         assert snap["reqs"] == 3
         assert snap["depth"] == (2.0, 2.0)
         assert snap["lat"] == registry.histogram("lat").state()
+
+    def test_snapshot_round_trips_and_sorts(self):
+        # Two registries fed the same observations in different creation
+        # orders must snapshot identically — values AND key order — so a
+        # plain json.dumps of the snapshot is replay-stable.
+        def feed(registry, order):
+            for name in order:
+                kind, _, _ = name.partition(".")
+                if kind == "c":
+                    registry.counter(name).inc(2)
+                elif kind == "g":
+                    registry.gauge(name).set(1.5)
+                else:
+                    registry.histogram(name).observe(0.01)
+
+        names = ["c.beta", "h.lat", "g.depth", "c.alpha", "h.err"]
+        a, b = MetricsRegistry(), MetricsRegistry()
+        feed(a, names)
+        feed(b, list(reversed(names)))
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        assert snap_a == snap_b
+        assert list(snap_a) == list(snap_b)  # key order, not just values
+        # Sorted within each instrument kind: counters, gauges, histograms.
+        assert list(snap_a) == ["c.alpha", "c.beta", "g.depth", "h.err", "h.lat"]
+        # Taking a snapshot is read-only: a second call round-trips.
+        assert a.snapshot() == snap_a
+
+    def test_render_sorted_name_order(self):
+        registry = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.mid"):
+            registry.counter(name).inc()
+        text = registry.render("order")
+        assert text.index("a.first") < text.index("m.mid") < text.index("z.last")
 
     def test_render_mentions_every_instrument(self):
         registry = MetricsRegistry()
