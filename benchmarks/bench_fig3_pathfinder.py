@@ -17,7 +17,9 @@ from repro import LobsterEngine
 from repro.nn import MLP, Adam, Tensor, binary_cross_entropy
 from repro.workloads import pathfinder
 
-from _harness import record, print_table
+from _harness import record, print_table, report
+
+SUITE = "fig3_pathfinder"
 
 GRID = 5
 N_TRAIN = 24
@@ -111,7 +113,13 @@ def neurosymbolic_accuracy(train, test) -> float:
 @pytest.fixture(scope="module")
 def accuracies():
     train, test = make_split()
-    return neural_accuracy(train, test), neurosymbolic_accuracy(train, test)
+    neural = neural_accuracy(train, test)
+    neurosymbolic = neurosymbolic_accuracy(train, test)
+    # Quality numbers, not time: unit "fraction" rides along in the
+    # record for trend-watching but is never regression-gated.
+    report(SUITE, "accuracy/neural", samples=[neural], unit="fraction")
+    report(SUITE, "accuracy/neurosymbolic", samples=[neurosymbolic], unit="fraction")
+    return neural, neurosymbolic
 
 
 def test_fig3d_neurosymbolic_beats_neural(accuracies, benchmark):

@@ -18,8 +18,10 @@ from repro import LobsterEngine
 from repro.baselines import ScallopInterpreter
 from repro.workloads import clutrr, hwf, pacman, pathfinder
 
-from _harness import record, print_table, speedup, timed
+from _harness import record, print_table, report, speedup, timed
 from _train import lobster_train_step, scallop_train_step
+
+SUITE = "fig8_training"
 
 STEPS = 3
 
@@ -114,6 +116,9 @@ def results():
             train_task("scallop", program, capacity, samples, None, relation),
             train_task("lobster", program, capacity, samples, None, relation),
         )
+        scallop, lobster = out[task]
+        report(SUITE, f"{task}/scallop", scallop, engine="scallop", steps=STEPS)
+        report(SUITE, f"{task}/lobster", lobster, engine="lobster", steps=STEPS)
     return out
 
 
@@ -129,7 +134,9 @@ def test_fig8_training_speedups(results, benchmark):
             table,
         )
         for task, (scallop, lobster) in results.items():
-            assert lobster.seconds < scallop.seconds, task
+            ratio = speedup(scallop, lobster)
+            assert ratio.ok, f"{task}: {ratio.status}"
+            assert ratio.value > 1.0, task
 
 
     record(benchmark, check)

@@ -13,7 +13,9 @@ from repro import LobsterEngine, ProgramCache
 from repro.baselines import ScallopInterpreter
 from repro.workloads import clutrr, hwf, pacman, pathfinder
 
-from _harness import record, print_table, speedup, timed
+from _harness import record, print_table, report, speedup, timed
+
+SUITE = "fig9_inference"
 
 
 def run_pathfinder(engine_kind: str):
@@ -120,9 +122,13 @@ TASKS = {
 
 @pytest.fixture(scope="module")
 def results():
-    return {
-        name: (runner("scallop"), runner("lobster")) for name, runner in TASKS.items()
-    }
+    rows = {}
+    for name, runner in TASKS.items():
+        rows[name] = (runner("scallop"), runner("lobster"))
+        scallop, lobster = rows[name]
+        report(SUITE, f"{name}/scallop", scallop, engine="scallop")
+        report(SUITE, f"{name}/lobster", lobster, engine="lobster")
+    return rows
 
 
 def test_fig9_inference_speedups(results, benchmark):
@@ -136,9 +142,12 @@ def test_fig9_inference_speedups(results, benchmark):
             ["task", "scallop", "lobster", "speedup"],
             table,
         )
-        # Shape: Lobster wins every task.
+        # Shape: Lobster wins every task (typed ratio — an OOM/timeout on
+        # either side fails loudly instead of skipping the comparison).
         for task, (scallop, lobster) in results.items():
-            assert lobster.seconds < scallop.seconds, task
+            ratio = speedup(scallop, lobster)
+            assert ratio.ok, f"{task}: {ratio.status}"
+            assert ratio.value > 1.0, task
 
 
     record(benchmark, check)

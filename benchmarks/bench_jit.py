@@ -20,8 +20,6 @@ launch-latency noise).
 from __future__ import annotations
 
 import os
-import statistics
-import time
 
 import numpy as np
 import pytest
@@ -29,7 +27,9 @@ import pytest
 from repro import JitConfig, LobsterEngine, ProgramCache
 from repro.workloads.analytics import CSPA
 
-from _harness import print_table, record
+from _harness import print_table, record, report, timed
+
+SUITE = "jit"
 
 TINY = bool(os.environ.get("LOBSTER_JIT_TINY"))
 
@@ -110,19 +110,6 @@ def run_loop(source, provenance, facts, probs, jit):
     return db, result, sum(steady)
 
 
-def wall_seconds(fn):
-    """Multi-trial wall clock, reported mean +/- stddev (never gated:
-    the simulator's modeled clock is the comparable number)."""
-    times = []
-    for _ in range(WALL_TRIALS):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    mean = statistics.mean(times)
-    std = statistics.stdev(times) if len(times) > 1 else 0.0
-    return mean, std
-
-
 @pytest.fixture(scope="module")
 def results():
     out = {}
@@ -131,12 +118,26 @@ def results():
         probs = fact_probs(provenance, facts)
         idb, ires, i_modeled = run_loop(source, provenance, facts, probs, jit=False)
         jdb, jres, j_modeled = run_loop(source, provenance, facts, probs, jit=True)
-        i_wall = wall_seconds(
-            lambda: run_loop(source, provenance, facts, probs, jit=False)
+        # Wall clock goes through the shared multi-trial harness; the
+        # modeled steady-state seconds are the gated numbers.
+        i_wall = timed(
+            lambda: run_loop(source, provenance, facts, probs, jit=False),
+            trials=WALL_TRIALS,
         )
-        j_wall = wall_seconds(
-            lambda: run_loop(source, provenance, facts, probs, jit=True)
+        j_wall = timed(
+            lambda: run_loop(source, provenance, facts, probs, jit=True),
+            trials=WALL_TRIALS,
         )
+        report(
+            SUITE, f"{name}/interp", samples=[i_modeled], unit="modeled_s",
+            mode="interp", tiny=TINY,
+        )
+        report(
+            SUITE, f"{name}/jit", samples=[j_modeled], unit="modeled_s",
+            mode="jit", tiny=TINY,
+        )
+        report(SUITE, f"{name}/interp-wall", i_wall, mode="interp", tiny=TINY)
+        report(SUITE, f"{name}/jit-wall", j_wall, mode="jit", tiny=TINY)
         out[name] = (query, idb, ires, i_modeled, i_wall, jdb, jres, j_modeled, j_wall)
     return out
 
@@ -154,8 +155,8 @@ def test_jit_vs_interpreter(results, benchmark):
                     f"{i_modeled * 1e3:.3f}ms",
                     f"{j_modeled * 1e3:.3f}ms",
                     f"{i_modeled / j_modeled:.2f}x" if j_modeled else "-",
-                    f"{i_wall[0]:.3f}+/-{i_wall[1]:.3f}s",
-                    f"{j_wall[0]:.3f}+/-{j_wall[1]:.3f}s",
+                    i_wall.label,
+                    j_wall.label,
                 ]
             )
         print_table(

@@ -21,8 +21,6 @@ the serving workload (the hottest instrumented path):
 from __future__ import annotations
 
 import os
-import statistics
-import time
 
 import pytest
 
@@ -31,7 +29,9 @@ from repro.obs import NULL_TRACER, dumps_trace_events, validate_trace_events
 from repro.obs import to_trace_events
 from repro.workloads.analytics import TRANSITIVE_CLOSURE
 
-from _harness import print_table, record
+from _harness import print_table, record, report, timed
+
+SUITE = "obs"
 
 TINY = bool(os.environ.get("LOBSTER_OBS_TINY"))
 N_REQUESTS = 20 if TINY else 120
@@ -71,16 +71,10 @@ def serve_once(tracer):
     return scheduler.run(gen.generate())
 
 
-def wall_seconds(tracer_factory, trials=WALL_TRIALS):
-    """Median host wall time of a serving drain; one untimed warmup."""
-    serve_once(tracer_factory())
-    times = []
-    for _ in range(trials):
-        tracer = tracer_factory()
-        t0 = time.perf_counter()
-        serve_once(tracer)
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+def wall_measurement(tracer_factory, trials=WALL_TRIALS):
+    """Multi-trial host wall time of a serving drain; one untimed warmup
+    (shared harness path — same statistics as every other suite)."""
+    return timed(lambda: serve_once(tracer_factory()), trials=trials, warmups=1)
 
 
 @pytest.fixture(scope="module")
@@ -89,8 +83,10 @@ def measurements():
     nulled = serve_once(NULL_TRACER)
     traced_tracer = Tracer(seed=SEED)
     traced = serve_once(traced_tracer)
-    wall_off = wall_seconds(lambda: None)
-    wall_on = wall_seconds(lambda: Tracer(seed=SEED))
+    wall_off = wall_measurement(lambda: None)
+    wall_on = wall_measurement(lambda: Tracer(seed=SEED))
+    report(SUITE, "serving-drain/untraced", wall_off, requests=N_REQUESTS)
+    report(SUITE, "serving-drain/traced", wall_on, requests=N_REQUESTS)
     return untraced, nulled, traced, traced_tracer, wall_off, wall_on
 
 
@@ -127,15 +123,15 @@ def test_wall_overhead_under_gate(measurements, benchmark):
     _, _, _, tracer, wall_off, wall_on = measurements
 
     def check():
-        overhead = wall_on / wall_off - 1.0
+        overhead = wall_on.seconds / wall_off.seconds - 1.0
         print_table(
             "tracing wall overhead",
-            ["config", "median wall ms", "spans", "overhead"],
+            ["config", "wall time", "spans", "overhead"],
             [
-                ["untraced", f"{wall_off * 1e3:.2f}", "-", "-"],
+                ["untraced", wall_off.label, "-", "-"],
                 [
                     "traced",
-                    f"{wall_on * 1e3:.2f}",
+                    wall_on.label,
                     len(tracer.spans),
                     f"{overhead * 100:+.1f}%",
                 ],

@@ -34,7 +34,9 @@ import pytest
 from repro import LobsterEngine, ProgramCache
 from repro.workloads.analytics import CSPA
 
-from _harness import print_table, record
+from _harness import print_table, profile_metrics, record, report
+
+SUITE = "planner"
 
 TINY = bool(os.environ.get("LOBSTER_PLANNER_TINY"))
 
@@ -122,6 +124,13 @@ def results():
         _, hdb, heuristic = run_once(source, facts, adaptive=False)
         _, adb, cost_based = run_once(source, facts, adaptive=True)
         out[name] = (query, hdb, heuristic, adb, cost_based)
+        for planner, result in (("heuristic", heuristic), ("cost-based", cost_based)):
+            report(
+                SUITE, f"{name}/{planner}",
+                samples=[modeled_seconds(result)], unit="modeled_s",
+                metrics=profile_metrics(result.profile),
+                planner=planner, tiny=TINY,
+            )
     return out
 
 

@@ -28,10 +28,8 @@ import os
 import platform
 import shutil
 import tempfile
-import time
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -43,7 +41,9 @@ from repro import (
 )
 from repro.stream import RelationStream, SlidingWindow
 
-from _harness import print_table, record
+from _harness import Measurement, print_table, record, report, timed
+
+SUITE = "recovery"
 
 TINY = bool(os.environ.get("LOBSTER_RECOVERY_TINY"))
 
@@ -78,36 +78,38 @@ def setup():
     return engine, SlidingWindow(stream, size=WINDOW)
 
 
-def durable_run(root, n_ticks, checkpoint_every):
+def durable_run(root, n_ticks, checkpoint_every) -> Measurement:
     """Drive a fresh durable stream ``n_ticks`` forward; return the
-    per-apply wall seconds (durability overhead included)."""
+    per-apply wall seconds (durability overhead included) as one
+    multi-sample :class:`Measurement` — each apply advances state, so
+    the ticks *are* the trials (no warmups, no re-running)."""
     engine, feed = setup()
     view = MaterializedView(engine, name="tc")
     manager = RecoveryManager(
         root, checkpoint_every=checkpoint_every, keep_checkpoints=2
     )
     manager.register("tc", view, feed)
-    samples = []
-    for _ in range(n_ticks):
-        delta = feed.advance()
-        start = time.perf_counter()
-        manager.apply("tc", delta)
-        samples.append(time.perf_counter() - start)
-    return samples
+    # warmups pinned to 0: every call advances the stream, so an
+    # env-configured warmup would change how many ticks actually ran.
+    return timed(
+        lambda: manager.apply("tc", feed.advance()), trials=n_ticks, warmups=0
+    )
 
 
 def time_recover(root, repeats=3):
-    """Median wall-clock ``recover()`` time against ``root``.  The
+    """Multi-trial wall-clock ``recover()`` time against ``root``.  The
     cadence is disabled so a long replayed tail does not cut a trailing
     checkpoint on the first repeat (which would leave nothing for the
     others to replay)."""
-    samples = []
-    info = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        _, _, info = recover(root, {"tc": setup()}, checkpoint_every=10_000)
-        samples.append(time.perf_counter() - start)
-    return float(np.median(samples)), info
+    last = {}
+
+    def go():
+        _, _, last["info"] = recover(
+            root, {"tc": setup()}, checkpoint_every=10_000
+        )
+
+    measurement = timed(go, trials=repeats, warmups=0)
+    return measurement, last["info"]
 
 
 def test_recovery_time_scales_with_tail_not_stream(benchmark):
@@ -133,10 +135,11 @@ def test_recovery_time_scales_with_tail_not_stream(benchmark):
                 manager.checkpoint()
                 for _ in range(tail):
                     manager.apply("tc", feed.advance())
-                seconds, info = time_recover(root)
+                measurement, info = time_recover(root)
                 assert info.replayed_deltas == tail
-                times[tail] = seconds
-                rows.append([f"{tail}", f"{seconds * 1e3:.1f}ms"])
+                report(SUITE, f"recover/tail{tail}", measurement, tail=tail, tiny=TINY)
+                times[tail] = measurement.seconds
+                rows.append([f"{tail}", measurement.label])
             finally:
                 shutil.rmtree(root)
         print_table(
@@ -163,23 +166,31 @@ def test_checkpoint_interval_tradeoff(benchmark):
         for interval in INTERVALS:
             root = tempfile.mkdtemp(prefix="lobster-bench-ckpt-")
             try:
-                samples = durable_run(root, SWEEP_TICKS, interval)
-                seconds, info = time_recover(root)
-                overheads[interval] = float(np.median(samples))
-                recoveries[interval] = seconds
+                applies = durable_run(root, SWEEP_TICKS, interval)
+                recovery, info = time_recover(root)
+                report(
+                    SUITE, f"apply/interval{interval}", applies,
+                    interval=interval, tiny=TINY,
+                )
+                report(
+                    SUITE, f"recover/interval{interval}", recovery,
+                    interval=interval, tiny=TINY,
+                )
+                overheads[interval] = applies.seconds
+                recoveries[interval] = recovery.seconds
                 rows.append(
                     [
                         f"{interval}",
-                        f"{np.median(samples) * 1e3:.2f}ms",
+                        applies.label,
                         f"{info.replayed_deltas}",
-                        f"{seconds * 1e3:.1f}ms",
+                        recovery.label,
                     ]
                 )
             finally:
                 shutil.rmtree(root)
         print_table(
             "Checkpoint-interval tradeoff",
-            ["interval", "apply p50 (wall)", "tail replayed", "recover (wall)"],
+            ["interval", "apply (wall)", "tail replayed", "recover (wall)"],
             rows,
         )
         # Every interval recovers to the same tick; the knobs only move
@@ -225,7 +236,7 @@ def test_write_summary():
         lines += [
             "## Checkpoint-interval tradeoff",
             "",
-            "| interval | apply p50 (wall) | tail replayed | recover (wall) |",
+            "| interval | apply (wall) | tail replayed | recover (wall) |",
             "|---|---|---|---|",
             *(
                 "| " + " | ".join(row) + " |"

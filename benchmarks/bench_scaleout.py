@@ -29,7 +29,9 @@ from repro import LobsterEngine
 from repro.workloads.analytics import CSPA, TRANSITIVE_CLOSURE, cspa_instance
 from repro.workloads.graphs import load_graph, road_grid
 
-from _harness import print_table, record
+from _harness import print_table, profile_metrics, record, report
+
+SUITE = "scaleout"
 
 TINY = bool(os.environ.get("LOBSTER_SCALEOUT_TINY"))
 SHARD_COUNTS = [1, 2, 4, 8]
@@ -69,7 +71,16 @@ def run_cspa(shards: int):
 def results():
     rows = {}
     for name, runner in (("TC", run_tc), ("CSPA", run_cspa)):
-        rows[name] = {shards: runner(shards) for shards in SHARD_COUNTS}
+        rows[name] = {}
+        for shards in SHARD_COUNTS:
+            result, n_rows = runner(shards)
+            rows[name][shards] = (result, n_rows)
+            report(
+                SUITE, f"{name}/shards{shards}",
+                samples=[result.simulated_parallel_seconds], unit="modeled_s",
+                metrics=profile_metrics(result.profile),
+                shards=shards, rows=n_rows, tiny=TINY,
+            )
     return rows
 
 

@@ -55,7 +55,9 @@ from repro.workloads.analytics import TRANSITIVE_CLOSURE
 from repro.workloads.static_analysis import PROGRAM as PSA_PROGRAM
 from repro.workloads.static_analysis import psa_instance
 
-from _harness import print_table, record
+from _harness import print_table, record, report
+
+SUITE = "streaming"
 
 TINY = bool(os.environ.get("LOBSTER_STREAM_TINY"))
 
@@ -102,9 +104,9 @@ def steady_state_run(view, window, warmup, measure):
     )
     scheduler.register(view, window, period_s=5e-3)
     scheduler.run(warmup)
-    report = scheduler.run(measure)
-    assert report.ticks == measure
-    return [delta.service_seconds for delta in report.deltas], report
+    stream_report = scheduler.run(measure)
+    assert stream_report.ticks == measure
+    return [delta.service_seconds for delta in stream_report.deltas], stream_report
 
 
 def cold_recompute_seconds(build_database, trials=3) -> float:
@@ -141,8 +143,8 @@ def reach_results():
     window = SlidingWindow(
         RelationStream("edge", leaves, TC_PER_TICK, seed=SEED), TC_WINDOW
     )
-    maintain, report = steady_state_run(view, window, TC_WARMUP, TC_MEASURE)
-    assert report.maintained_fraction > 0.9
+    maintain, stream_report = steady_state_run(view, window, TC_WARMUP, TC_MEASURE)
+    assert stream_report.maintained_fraction > 0.9
 
     live = window.live_rows("edge") + backbone_edges(n)
 
@@ -157,6 +159,8 @@ def reach_results():
     cold_engine, cold_db = build_cold()
     cold_engine.run(cold_db)
     assert set(view.result("reach")) == set(cold_db.result("reach").rows())
+    report(SUITE, "reach/maintain-tick", samples=maintain, unit="modeled_s", tiny=TINY)
+    report(SUITE, "reach/cold-recompute", samples=[cold], unit="modeled_s", tiny=TINY)
     return maintain, cold
 
 
@@ -178,8 +182,8 @@ def tc_results():
     window = SlidingWindow(
         RelationStream("edge", leaves, TC_PER_TICK, seed=SEED), TC_WINDOW
     )
-    maintain, report = steady_state_run(view, window, TC_WARMUP, TC_MEASURE)
-    assert report.maintained_fraction > 0.9  # retractions every tick
+    maintain, stream_report = steady_state_run(view, window, TC_WARMUP, TC_MEASURE)
+    assert stream_report.maintained_fraction > 0.9  # retractions every tick
 
     live = window.live_rows("edge") + backbone
 
@@ -194,6 +198,8 @@ def tc_results():
     cold_engine, cold_db = build_cold()
     cold_engine.run(cold_db)
     assert set(view.result("path")) == set(cold_db.result("path").rows())
+    report(SUITE, "TC/maintain-tick", samples=maintain, unit="modeled_s", tiny=TINY)
+    report(SUITE, "TC/cold-recompute", samples=[cold], unit="modeled_s", tiny=TINY)
     return maintain, cold
 
 
@@ -224,10 +230,10 @@ def psa_results():
         churn_rel, base_rows, 1, seed=SEED, prob_range=(0.7, 1.0)
     )
     window = SlidingWindow(stream, max(2, len(stream) - 2))
-    maintain, report = steady_state_run(
+    maintain, stream_report = steady_state_run(
         view, window, len(stream) + 4, PSA_MEASURE
     )
-    assert report.maintained_fraction > 0.9
+    assert stream_report.maintained_fraction > 0.9
 
     probs = {
         event.row: event.prob
@@ -252,6 +258,8 @@ def psa_results():
         assert set(warm) == set(reference), relation
         for row, prob in warm.items():
             assert prob == pytest.approx(reference[row], abs=1e-9)
+    report(SUITE, "PSA/maintain-tick", samples=maintain, unit="modeled_s", tiny=TINY)
+    report(SUITE, "PSA/cold-recompute", samples=[cold], unit="modeled_s", tiny=TINY)
     return maintain, cold
 
 

@@ -19,7 +19,9 @@ from repro.baselines import FVLogEngine
 from repro.workloads.analytics import SAME_GENERATION
 from repro.workloads.graphs import load_graph
 
-from _harness import record, Measurement, print_table, timed
+from _harness import record, Measurement, print_table, report, timed
+
+SUITE = "table3_samegen"
 
 DATASETS = [
     "fe-sphere",
@@ -39,15 +41,22 @@ CAPACITY_BYTES = 800_000_000
 
 
 def run_engine(engine_cls, edges) -> Measurement:
-    if engine_cls is LobsterEngine:
-        device = VirtualDevice(capacity_bytes=CAPACITY_BYTES)
-        engine = LobsterEngine(SAME_GENERATION, provenance="unit", device=device)
-    else:
-        device = VirtualDevice(capacity_bytes=CAPACITY_BYTES, reuse_buffers=False)
-        engine = FVLogEngine(SAME_GENERATION, device=device)
-    db = engine.create_database()
-    db.add_facts("parent", edges)
-    return timed(lambda: engine.run(db))
+    # Fresh engine + database on every trial (re-running an already
+    # fixpointed db is a warm incremental pass — a different workload
+    # than the cold evaluation Table 3 measures), built untimed so
+    # setup cost is not charged to the engine.
+    def setup():
+        if engine_cls is LobsterEngine:
+            device = VirtualDevice(capacity_bytes=CAPACITY_BYTES)
+            engine = LobsterEngine(SAME_GENERATION, provenance="unit", device=device)
+        else:
+            device = VirtualDevice(capacity_bytes=CAPACITY_BYTES, reuse_buffers=False)
+            engine = FVLogEngine(SAME_GENERATION, device=device)
+        db = engine.create_database()
+        db.add_facts("parent", edges)
+        return engine, db
+
+    return timed(lambda state: state[0].run(state[1]), setup=setup)
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +68,9 @@ def results():
             run_engine(LobsterEngine, edges),
             run_engine(FVLogEngine, edges),
         )
+        lobster, fvlog = rows[name]
+        report(SUITE, f"samegen/{name}/lobster", lobster, engine="lobster")
+        report(SUITE, f"samegen/{name}/fvlog", fvlog, engine="fvlog")
     return rows
 
 
@@ -81,10 +93,12 @@ def test_table3_same_generation(results, benchmark):
         # Shape 1: wherever both finish, Lobster is never meaningfully
         # slower.  (The paper reports >=2x per dataset; our two engines
         # share one kernel substrate, so the wall gap compresses to
-        # near-parity — see EXPERIMENTS.md.)
+        # near-parity — see EXPERIMENTS.md.)  Best-of-trials, not the
+        # mean: a single descheduled trial on a contended host would
+        # otherwise fail a shape assertion about the engines.
         assert finished_both, "no dataset finished on both engines"
         for lobster, fvlog in finished_both:
-            assert lobster.seconds <= fvlog.seconds * 1.2
+            assert min(lobster.samples) <= min(fvlog.samples) * 1.2
         # Shape 2: FVLog runs out of memory on strictly more datasets —
         # the Table 3 OOM asymmetry (no buffer management fragments the
         # arena across fix-point iterations).

@@ -50,6 +50,7 @@ Public API highlights:
 """
 
 from .errors import (
+    BenchRecordError,
     CheckpointMismatchError,
     CompileError,
     CorruptLogError,
@@ -116,10 +117,11 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "AdmissionController",
+    "BenchRecordError",
     "CheckpointMismatchError",
     "CompileError",
     "CompiledProgram",

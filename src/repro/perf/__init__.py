@@ -1,0 +1,55 @@
+"""Statistical benchmark observability (this repo's measurement layer).
+
+``perf/`` is what makes the repo's speedup claims checkable: every
+benchmark reports multi-trial statistics with confidence intervals
+(:mod:`repro.perf.stats`), results land in schema-versioned
+machine-readable ``BENCH_*.json`` records next to the markdown summaries
+(:mod:`repro.perf.record`), fresh runs are gated against the previous
+committed baseline with CI-adjusted slowdown ratios
+(:mod:`repro.perf.regress`), and a workload-characterization report
+(:mod:`repro.perf.characterize`) plus a cross-suite baseline comparison
+(:mod:`repro.perf.crosssuite`) show that the suite covers the workload
+space it claims to.  Measurement discipline follows SPEC CPU2026
+(PAPERS.md): warmups, t-distribution intervals, geometric means.
+"""
+
+from .record import (
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    SuiteRecord,
+    environment_fingerprint,
+    load_record,
+    record_path,
+    validate_record,
+    write_record,
+)
+from .regress import GateReport, Verdict, check_record, check_records
+from .stats import (
+    Ratio,
+    TrialStats,
+    geomean_ratio,
+    ratio_of,
+    summarize,
+    t_quantile,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchmarkResult",
+    "GateReport",
+    "Ratio",
+    "SuiteRecord",
+    "TrialStats",
+    "Verdict",
+    "check_record",
+    "check_records",
+    "environment_fingerprint",
+    "geomean_ratio",
+    "load_record",
+    "ratio_of",
+    "record_path",
+    "summarize",
+    "t_quantile",
+    "validate_record",
+    "write_record",
+]

@@ -1,0 +1,226 @@
+"""Cross-suite baseline comparison: Lobster vs the reference engines.
+
+SPEC publishes every system's score on one shared workload set; this
+module does the miniature equivalent for the repo's baseline engines —
+the Soufflé stand-in (discrete multicore CPU Datalog), the Scallop
+stand-in (tuple-at-a-time tagged evaluation), and the ProbLog stand-in
+(exact probabilistic inference) — on fixed-seed instances of the
+benchmark suite's workload families.  Engines are used *where
+importable*: a missing baseline produces an explicit ``unavailable`` row
+rather than a silent hole in the table.
+
+Every cell is multi-trial wall time through :mod:`repro.perf.stats`
+(these are real competing executions, not simulator accounting — wall
+clock is the honest number here), and each speedup carries its
+propagated interval.  The rows feed both the versioned markdown summary
+and a ``BENCH_crosssuite.json`` record.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import EvaluationTimeout
+from .record import BenchmarkResult
+from .stats import Ratio, TrialStats, geomean_ratio, ratio_of, summarize
+
+__all__ = ["CrossSuiteCell", "compare_baselines", "render_markdown"]
+
+TC = """
+rel path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+query path
+"""
+
+#: Wall-clock budget per baseline run; a baseline that exceeds it gets
+#: an explicit ``timeout`` cell (the §6.4 ProbLog observation, scaled).
+TIMEOUT_S = 30.0
+
+
+def _tc_facts(tiny: bool):
+    rng = np.random.default_rng(29)
+    n_nodes = 20 if tiny else 60
+    n_edges = 45 if tiny else 170
+    edges = {
+        (int(a), int(b))
+        for a, b in rng.integers(0, n_nodes, size=(n_edges, 2))
+        if a != b
+    }
+    return {"edge": sorted(edges)}
+
+
+def _prob_tc_facts():
+    # Exact weighted model counting is exponential in proof count: keep
+    # the ProbLog instance tractable (a short chain plus one shortcut).
+    rows = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]
+    return {"edge": rows}, [0.9, 0.8, 0.7, 0.9, 0.5]
+
+
+def _run_lobster(source, provenance, facts, probs=None):
+    from ..runtime.engine import LobsterEngine
+
+    engine = LobsterEngine(source, provenance=provenance)
+    db = engine.create_database()
+    for name, rows in facts.items():
+        db.add_facts(name, rows, probs)
+    engine.run(db)
+
+
+def _run_souffle(source, facts):
+    from ..baselines import SouffleEngine
+
+    engine = SouffleEngine(source, timeout_seconds=TIMEOUT_S)
+    db = engine.create_database()
+    for name, rows in facts.items():
+        db.setdefault(name, set()).update(rows)
+    engine.run(db)
+
+
+def _run_scallop(source, provenance, facts, probs=None):
+    from ..baselines import ScallopInterpreter
+
+    engine = ScallopInterpreter(
+        source, provenance=provenance, timeout_seconds=TIMEOUT_S
+    )
+    db = engine.create_database()
+    for name, rows in facts.items():
+        db.add_facts(name, rows, probs)
+    engine.run(db)
+
+
+def _run_problog(source, facts, probs):
+    from ..baselines import ProbLogEngine
+
+    engine = ProbLogEngine(source, timeout_seconds=TIMEOUT_S)
+    db = engine.create_database()
+    for name, rows in facts.items():
+        db.add_facts(name, rows, probs=probs)
+    engine.run(db)
+
+
+class CrossSuiteCell:
+    """One (workload, engine) measurement."""
+
+    def __init__(self, workload: str, engine: str):
+        self.workload = workload
+        self.engine = engine
+        self.samples: list[float] = []
+        self.status = "ok"  # ok | timeout | unavailable | failed
+
+    def stats(self) -> TrialStats | None:
+        if self.status != "ok" or not self.samples:
+            return None
+        return summarize(self.samples)
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}/{self.engine}"
+
+
+def _measure(cell: CrossSuiteCell, fn, trials: int, warmups: int) -> None:
+    try:
+        for index in range(warmups + trials):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if index >= warmups:
+                cell.samples.append(elapsed)
+    except EvaluationTimeout:
+        cell.status = "timeout"
+        cell.samples = []
+    except ImportError:
+        cell.status = "unavailable"
+        cell.samples = []
+
+
+def compare_baselines(
+    trials: int = 3, warmups: int = 1, tiny: bool = False
+) -> list[CrossSuiteCell]:
+    """Run the comparison grid; one cell per (workload, engine) pair.
+
+    Baselines that fail to import are reported ``unavailable`` — the
+    comparison is still written, with the hole visible.
+    """
+    tc_facts = _tc_facts(tiny)
+    prob_facts, prob_probs = _prob_tc_facts()
+    grid = [
+        ("TC/unit", "lobster", lambda: _run_lobster(TC, "unit", tc_facts)),
+        ("TC/unit", "souffle", lambda: _run_souffle(TC, tc_facts)),
+        ("TC/unit", "scallop", lambda: _run_scallop(TC, "unit", tc_facts)),
+        (
+            "probTC/minmaxprob",
+            "lobster",
+            lambda: _run_lobster(TC, "minmaxprob", prob_facts, prob_probs),
+        ),
+        (
+            "probTC/minmaxprob",
+            "scallop",
+            lambda: _run_scallop(TC, "minmaxprob", prob_facts, prob_probs),
+        ),
+        (
+            "probTC/exact",
+            "problog",
+            lambda: _run_problog(TC, prob_facts, prob_probs),
+        ),
+    ]
+    cells = []
+    for workload, engine, fn in grid:
+        cell = CrossSuiteCell(workload, engine)
+        _measure(cell, fn, trials=trials, warmups=warmups)
+        cells.append(cell)
+    return cells
+
+
+def to_benchmark_results(cells: list[CrossSuiteCell]) -> list[BenchmarkResult]:
+    return [
+        BenchmarkResult(
+            name=cell.name,
+            samples=list(cell.samples),
+            unit="s",
+            status=cell.status,
+            attrs={"workload": cell.workload, "engine": cell.engine},
+        )
+        for cell in cells
+    ]
+
+
+def render_markdown(cells: list[CrossSuiteCell]) -> list[str]:
+    """Comparison table plus the geomean speedup line, for the summary."""
+    by_workload: dict[str, dict[str, CrossSuiteCell]] = {}
+    for cell in cells:
+        by_workload.setdefault(cell.workload, {})[cell.engine] = cell
+    lines = [
+        "| workload | engine | wall (mean ± stddev, 95% CI) | vs lobster |",
+        "|---|---|---|---|",
+    ]
+    ratios: list[Ratio] = []
+    for workload, engines in by_workload.items():
+        ours = engines.get("lobster")
+        our_stats = ours.stats() if ours else None
+        for engine, cell in engines.items():
+            stats = cell.stats()
+            if stats is None:
+                lines.append(
+                    f"| {workload} | {engine} | {cell.status} | - |"
+                )
+                continue
+            if engine == "lobster" or our_stats is None:
+                versus = "1.00x" if engine == "lobster" else "-"
+            else:
+                ratio = ratio_of(stats, our_stats)
+                versus = ratio.label()
+                if ratio.ok:
+                    ratios.append(ratio)
+            lines.append(
+                f"| {workload} | {engine} | {stats.label()} | {versus} |"
+            )
+    geo = geomean_ratio(ratios)
+    lines.append("")
+    lines.append(
+        "Geomean baseline/lobster speedup over measurable pairs: "
+        f"**{geo.label()}**"
+        if geo.ok
+        else "No measurable baseline/lobster pairs this run."
+    )
+    return lines

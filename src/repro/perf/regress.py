@@ -1,0 +1,293 @@
+"""Regression gate: compare a fresh suite record against a baseline.
+
+The gate answers one question per benchmark: *is the new measurement
+slower than the baseline by more than the noise can explain?*  It is
+CI-adjusted in the SPEC sense — the slowdown ratio is taken at its
+**optimistic** end (new mean minus its confidence half-width over
+baseline mean plus its half-width), so a regression only fires when even
+the most charitable reading of both intervals leaves the benchmark more
+than ``threshold``× slower.  Same-machine re-runs of the same commit
+pass (their ratio intervals straddle 1), while a genuine 2× slowdown
+fails at the default threshold.
+
+Explicit non-comparisons instead of silent skips:
+
+* a benchmark absent from the baseline is verdict ``new`` (first run of
+  a fresh benchmark must not fail CI — commit the emitted record and it
+  becomes the baseline);
+* a baseline benchmark absent from the current run is ``missing``
+  (informational: a filter or rename);
+* wall-clock (``unit == "s"``) benchmarks are verdict ``foreign-host``
+  when the two records' host fingerprints differ — only the modeled
+  simulator clock is comparable across machines;
+* non-time benchmarks (``unit == "fraction"``: accuracies, coverage) are
+  verdict ``informational`` — recorded for trends, never gated;
+* wall-clock cells where both sides run under ``WALL_GATE_FLOOR_S`` are
+  verdict ``informational`` — a 2 ms measurement swings several× on
+  scheduler and cache state alone, so judging it is judging the host.
+  The deterministic ``modeled_s`` clock is gated at any scale.
+
+Also usable as a CLI (CI exercises both directions)::
+
+    python -m repro.perf.regress BASELINE.json CURRENT.json
+    python -m repro.perf.regress BASELINE.json CURRENT.json --inject 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .record import SuiteRecord, host_key, load_record
+from .stats import Ratio, ratio_of, summarize
+
+__all__ = [
+    "GateReport",
+    "Verdict",
+    "WALL_GATE_FLOOR_S",
+    "check_record",
+    "check_records",
+]
+
+#: A benchmark regresses when its CI-adjusted slowdown exceeds this.
+DEFAULT_THRESHOLD = 1.25
+
+#: Wall-clock cells where baseline and current means are both below this
+#: are too fast to gate meaningfully (informational instead).
+WALL_GATE_FLOOR_S = 0.010
+
+
+@dataclass
+class Verdict:
+    """One benchmark's gate outcome."""
+
+    benchmark: str
+    #: ok | regressed | improved | new | missing | foreign-host |
+    #: unmeasured | informational
+    status: str
+    #: Slowdown ratio current/baseline (value > 1 means slower), with the
+    #: propagated interval; None for non-comparisons.
+    slowdown: Ratio | None = None
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+    def render(self) -> str:
+        ratio = f" {self.slowdown.label()}" if self.slowdown else ""
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"{self.status:13s} {self.benchmark}{ratio}{detail}"
+
+
+@dataclass
+class GateReport:
+    """All verdicts for one suite comparison."""
+
+    suite: str
+    threshold: float
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not any(v.failed for v in self.verdicts)
+
+    @property
+    def regressions(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.failed]
+
+    def render(self) -> str:
+        header = (
+            f"regression gate [{self.suite}] threshold {self.threshold:.2f}x"
+            f" -> {'PASS' if self.passed else 'FAIL'}"
+        )
+        return "\n".join([header] + [
+            "  " + verdict.render() for verdict in self.verdicts
+        ])
+
+
+def check_record(
+    baseline: SuiteRecord,
+    current: SuiteRecord,
+    threshold: float = DEFAULT_THRESHOLD,
+    slowdown_factor: float = 1.0,
+) -> GateReport:
+    """Gate ``current`` against ``baseline``.
+
+    ``slowdown_factor`` scales the current samples before comparison —
+    the fault-injection hook CI uses to prove the gate *can* fail (an
+    injected 2× slowdown must turn a passing comparison into a failing
+    one without touching any real measurement).
+    """
+    report = GateReport(suite=current.suite, threshold=threshold)
+    same_host = host_key(baseline.environment) == host_key(
+        current.environment
+    )
+    for bench in current.benchmarks:
+        base = baseline.get(bench.name)
+        if base is None:
+            report.verdicts.append(
+                Verdict(bench.name, "new", detail="no baseline entry")
+            )
+            continue
+        if not bench.ok or not base.ok:
+            report.verdicts.append(
+                Verdict(
+                    bench.name,
+                    "unmeasured",
+                    detail=f"status baseline={base.status} current={bench.status}",
+                )
+            )
+            continue
+        if bench.unit not in ("s", "modeled_s"):
+            # Quality metrics (unit "fraction") ride along in records for
+            # trend-watching but are not time, so a slowdown gate makes
+            # no sense — report them without judging.
+            report.verdicts.append(
+                Verdict(
+                    bench.name,
+                    "informational",
+                    detail=f"unit {bench.unit!r} is not gated",
+                )
+            )
+            continue
+        if bench.unit == "s" and not same_host:
+            report.verdicts.append(
+                Verdict(
+                    bench.name,
+                    "foreign-host",
+                    detail="wall clock not comparable across machines",
+                )
+            )
+            continue
+        base_stats = base.stats()
+        cur_stats = bench.stats()
+        if (
+            bench.unit == "s"
+            and base_stats.mean < WALL_GATE_FLOOR_S
+            and cur_stats.mean < WALL_GATE_FLOOR_S
+        ):
+            report.verdicts.append(
+                Verdict(
+                    bench.name,
+                    "informational",
+                    detail=(
+                        f"wall time below the {WALL_GATE_FLOOR_S * 1e3:.0f}ms"
+                        " gate floor"
+                    ),
+                )
+            )
+            continue
+        if slowdown_factor != 1.0:
+            cur_stats = summarize(
+                [x * slowdown_factor for x in bench.samples]
+            )
+        # Slowdown = current/baseline; ratio_of propagates both CIs.
+        slowdown = ratio_of(cur_stats, base_stats)
+        if not slowdown.ok:
+            report.verdicts.append(
+                Verdict(
+                    bench.name, "unmeasured", slowdown, "zero-mean samples"
+                )
+            )
+            continue
+        # CI-adjusted: gate on the optimistic (lower) end of the
+        # slowdown interval — noise never fails the gate on its own.
+        optimistic = slowdown.lo if slowdown.lo is not None else slowdown.value
+        if optimistic > threshold:
+            status = "regressed"
+            detail = (
+                f"≥{optimistic:.2f}x slower than baseline even at the "
+                f"optimistic CI bound (threshold {threshold:.2f}x)"
+            )
+        elif slowdown.hi is not None and slowdown.hi < 1.0 / threshold:
+            status = "improved"
+            detail = "faster than baseline beyond the CI"
+        else:
+            status = "ok"
+            detail = ""
+        report.verdicts.append(Verdict(bench.name, status, slowdown, detail))
+    current_names = {bench.name for bench in current.benchmarks}
+    for base in baseline.benchmarks:
+        if base.name not in current_names:
+            report.verdicts.append(
+                Verdict(base.name, "missing", detail="not in current run")
+            )
+    return report
+
+
+def check_records(
+    baselines: dict[str, SuiteRecord],
+    currents: dict[str, SuiteRecord],
+    threshold: float = DEFAULT_THRESHOLD,
+    slowdown_factor: float = 1.0,
+) -> list[GateReport]:
+    """Gate every current suite that has a baseline; suites without one
+    produce a single all-``new`` report (the explicit no-baseline path)."""
+    reports = []
+    for suite in sorted(currents):
+        current = currents[suite]
+        baseline = baselines.get(suite)
+        if baseline is None:
+            report = GateReport(suite=suite, threshold=threshold)
+            report.verdicts = [
+                Verdict(bench.name, "new", detail="no baseline record")
+                for bench in current.benchmarks
+            ]
+            reports.append(report)
+            continue
+        reports.append(
+            check_record(baseline, current, threshold, slowdown_factor)
+        )
+    return reports
+
+
+def _load_side(path: Path) -> dict[str, SuiteRecord]:
+    """A side of the comparison: one record file, or a directory of
+    ``BENCH_*.json`` records."""
+    path = Path(path)
+    if path.is_dir():
+        records = {}
+        for candidate in sorted(path.glob("BENCH_*.json")):
+            record = load_record(candidate)
+            records[record.suite] = record
+        return records
+    record = load_record(path)
+    return {record.suite: record}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate current BENCH records against a baseline."
+    )
+    parser.add_argument("baseline", type=Path, help="record file or dir")
+    parser.add_argument("current", type=Path, help="record file or dir")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="CI-adjusted slowdown that counts as a regression",
+    )
+    parser.add_argument(
+        "--inject", type=float, default=1.0, metavar="FACTOR",
+        help="multiply current samples by FACTOR (gate self-test)",
+    )
+    args = parser.parse_args(argv)
+    reports = check_records(
+        _load_side(args.baseline),
+        _load_side(args.current),
+        threshold=args.threshold,
+        slowdown_factor=args.inject,
+    )
+    if not reports:
+        print("no current records found", file=sys.stderr)
+        return 2
+    ok = True
+    for report in reports:
+        print(report.render())
+        ok = ok and report.passed
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

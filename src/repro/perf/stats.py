@@ -1,0 +1,245 @@
+"""Dependency-free trial statistics for benchmark observability.
+
+The measurement discipline follows SPEC CPU2026 (PAPERS.md): a benchmark
+is *n* timed trials after *w* discarded warmups, reported as mean ±
+stddev with a 95% confidence interval from the Student t-distribution —
+never a single-shot point.  Speedups are ratios of trial means with the
+trial noise propagated into the ratio's own interval, and suite-level
+claims are geometric means over per-benchmark ratios (again with
+propagated intervals), so "X× faster" always comes with the error bars
+that justify it.
+
+Everything here is pure stdlib ``math`` over ``list[float]`` — the
+benchmark harness must not drag engine dependencies (numpy arrays,
+device state) into its own timing loop, and the t quantiles come from a
+built-in table rather than scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Ratio",
+    "TrialStats",
+    "geomean_ratio",
+    "ratio_of",
+    "summarize",
+    "t_quantile",
+]
+
+#: Two-sided Student-t critical values by confidence level, indexed by
+#: degrees of freedom 1..30 then (40, 60, 120).  Standard statistical
+#: table values (e.g. NIST/SEMATECH e-Handbook §1.3.6.7.2); beyond the
+#: listed dfs the normal quantile is used.  Lookup is conservative: a df
+#: between entries takes the next *lower* entry's (larger) value.
+_T_TABLE: dict[float, tuple[list[float], list[tuple[int, float]], float]] = {
+    0.90: (
+        [
+            6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+            1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+            1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+            1.701, 1.699, 1.697,
+        ],
+        [(40, 1.684), (60, 1.671), (120, 1.658)],
+        1.645,
+    ),
+    0.95: (
+        [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+            2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+            2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+            2.048, 2.045, 2.042,
+        ],
+        [(40, 2.021), (60, 2.000), (120, 1.980)],
+        1.960,
+    ),
+    0.99: (
+        [
+            63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+            3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+            2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+            2.763, 2.756, 2.750,
+        ],
+        [(40, 2.704), (60, 2.660), (120, 2.617)],
+        2.576,
+    ),
+}
+
+
+def t_quantile(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    ``confidence`` must be one of the tabulated levels (0.90, 0.95,
+    0.99).  For a df between table entries the next lower entry is used
+    (wider interval — never overclaims precision).
+    """
+    if confidence not in _T_TABLE:
+        raise ValueError(
+            f"confidence {confidence} not tabulated; "
+            f"choose one of {sorted(_T_TABLE)}"
+        )
+    if df < 1:
+        raise ValueError("t quantile needs at least 1 degree of freedom")
+    dense, sparse, normal = _T_TABLE[confidence]
+    if df <= len(dense):
+        return dense[df - 1]
+    if df > 1000:
+        return normal
+    value = dense[-1]
+    for edge, quantile in sparse:
+        if df >= edge:
+            value = quantile
+    return value
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary of one benchmark's timed trials."""
+
+    n: int
+    mean: float
+    stddev: float
+    #: Half-width of the two-sided confidence interval; 0.0 for n < 2
+    #: (a single trial has no measurable noise — the interval degenerates
+    #: and downstream ratio propagation treats it as exact).
+    ci: float
+    minimum: float
+    maximum: float
+    confidence: float = 0.95
+    samples: tuple[float, ...] = field(default=(), repr=False)
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci
+
+    def label(self, scale: float = 1.0, unit: str = "s") -> str:
+        """``mean ± stddev unit [ci lo, hi]`` rendered at ``scale``."""
+        if self.n < 2:
+            return f"{self.mean * scale:.3f}{unit}"
+        return (
+            f"{self.mean * scale:.3f}±{self.stddev * scale:.3f}{unit} "
+            f"[{self.lo * scale:.3f}, {self.hi * scale:.3f}]"
+        )
+
+
+def summarize(
+    samples: list[float], warmups: int = 0, confidence: float = 0.95
+) -> TrialStats:
+    """Trial statistics over ``samples`` after discarding the first
+    ``warmups`` of them (SPEC-style: warmup trials prime caches/JITs and
+    never count)."""
+    kept = list(samples[warmups:])
+    if not kept:
+        raise ValueError(
+            f"no samples left: {len(samples)} trial(s), {warmups} warmup(s)"
+        )
+    n = len(kept)
+    mean = math.fsum(kept) / n
+    if n > 1:
+        variance = math.fsum((x - mean) ** 2 for x in kept) / (n - 1)
+        stddev = math.sqrt(variance)
+        ci = t_quantile(n - 1, confidence) * stddev / math.sqrt(n)
+    else:
+        stddev = 0.0
+        ci = 0.0
+    return TrialStats(
+        n=n,
+        mean=mean,
+        stddev=stddev,
+        ci=ci,
+        minimum=min(kept),
+        maximum=max(kept),
+        confidence=confidence,
+        samples=tuple(kept),
+    )
+
+
+@dataclass(frozen=True)
+class Ratio:
+    """A speedup (or slowdown) ratio with a status and an interval.
+
+    Replaces the old harness convention of returning the *string* ``"-"``
+    for unmeasurable ratios, which downstream shape assertions silently
+    skipped: a :class:`Ratio` is always inspectable (``ratio.ok``), only
+    *renders* as ``-`` when unmeasurable, and carries the propagated
+    confidence bounds so a gate can ask "is this ≥ 2× even at the
+    pessimistic end of the interval?"
+    """
+
+    value: float | None
+    lo: float | None = None
+    hi: float | None = None
+    #: ``ok`` | a reason the ratio is unmeasurable (``baseline-oom``,
+    #: ``ours-timeout``, ``zero-denominator``, ``empty``, ...).
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok" and self.value is not None
+
+    def __str__(self) -> str:
+        if not self.ok:
+            return "-"
+        return f"{self.value:.2f}x"
+
+    def label(self) -> str:
+        """Rendering with the interval: ``3.41x [3.12, 3.73]``."""
+        if not self.ok:
+            return f"- ({self.status})"
+        if self.lo is None or self.hi is None or self.hi == self.lo:
+            return f"{self.value:.2f}x"
+        return f"{self.value:.2f}x [{self.lo:.2f}, {self.hi:.2f}]"
+
+
+def ratio_of(baseline: TrialStats, ours: TrialStats) -> Ratio:
+    """``baseline.mean / ours.mean`` with trial noise propagated.
+
+    First-order (delta-method) propagation of the two means' confidence
+    half-widths into the ratio: the relative half-widths add in
+    quadrature.  Exact means (n=1 or zero variance — e.g. the simulator's
+    modeled clock) contribute nothing, so a ratio of two deterministic
+    measurements is a point.
+    """
+    if ours.mean <= 0.0 or baseline.mean <= 0.0:
+        return Ratio(None, status="zero-denominator")
+    value = baseline.mean / ours.mean
+    rel = math.sqrt(
+        (baseline.ci / baseline.mean) ** 2 + (ours.ci / ours.mean) ** 2
+    )
+    return Ratio(value=value, lo=value / (1.0 + rel), hi=value * (1.0 + rel))
+
+
+def geomean_ratio(ratios: list[Ratio]) -> Ratio:
+    """Geometric mean over the measurable ratios, SPEC-style.
+
+    Per-benchmark log-interval half-widths combine in quadrature and are
+    averaged down by the count, so the suite-level claim tightens as
+    benchmarks agree.  Unmeasurable inputs are excluded (they carry no
+    information, not a zero); an all-unmeasurable input yields status
+    ``empty``.
+    """
+    usable = [r for r in ratios if r.ok]
+    if not usable:
+        return Ratio(None, status="empty")
+    n = len(usable)
+    log_mean = math.fsum(math.log(r.value) for r in usable) / n
+    value = math.exp(log_mean)
+    spread = (
+        math.sqrt(
+            math.fsum(
+                math.log(r.hi / r.value) ** 2
+                for r in usable
+                if r.hi is not None and r.value
+            )
+        )
+        / n
+    )
+    return Ratio(
+        value=value, lo=value * math.exp(-spread), hi=value * math.exp(spread)
+    )
