@@ -67,6 +67,7 @@ TINY_FLAGS = (
     "LOBSTER_RECOVERY_TINY",
     "LOBSTER_JIT_TINY",
     "LOBSTER_OBS_TINY",
+    "LOBSTER_RESHARD_TINY",
 )
 
 

@@ -69,7 +69,14 @@ from .errors import (
     TraceGuardError,
     UnknownTicketError,
 )
-from .dist import DevicePool, HashPartitioner, ShardedExecutor
+from .dist import (
+    DevicePool,
+    HashPartitioner,
+    ReshardPlan,
+    ReshardPlanner,
+    ShardMap,
+    ShardedExecutor,
+)
 from .jit import JitConfig
 from .gpu.device import DeviceProfile, VirtualDevice
 from .runtime.cache import (
@@ -97,6 +104,7 @@ from .stats import (
 )
 from .serve import (
     AdmissionController,
+    ElasticController,
     LoadGenerator,
     MetricsRegistry,
     Outcome,
@@ -117,7 +125,7 @@ from .stream import (
     ViewDelta,
 )
 
-__version__ = "0.10.0"
+__version__ = "0.11.0"
 
 __all__ = [
     "AdmissionController",
@@ -131,6 +139,7 @@ __all__ = [
     "DeviceOutOfMemory",
     "DevicePool",
     "DeviceProfile",
+    "ElasticController",
     "HashPartitioner",
     "LoadGenerator",
     "MetricsRegistry",
@@ -157,10 +166,13 @@ __all__ = [
     "RecoveryManager",
     "RelationStats",
     "RelationStream",
+    "ReshardPlan",
+    "ReshardPlanner",
     "ResolutionError",
     "RetractionUnsupportedError",
     "SessionError",
     "SessionReport",
+    "ShardMap",
     "SlidingWindow",
     "Span",
     "StaleViewError",

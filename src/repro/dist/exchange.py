@@ -21,7 +21,7 @@ counters, never the host clock.
 
 from __future__ import annotations
 
-from .partition import HashPartitioner
+from .partition import ShardMap
 from ..gpu.device import VirtualDevice
 from ..provenance.base import Provenance
 from ..runtime.table import Table
@@ -30,7 +30,7 @@ from ..runtime.table import Table
 class ExchangeOperator:
     """Shuffle/broadcast collectives over a fixed pool of shard devices."""
 
-    def __init__(self, partitioner: HashPartitioner, devices: list[VirtualDevice]):
+    def __init__(self, partitioner: ShardMap, devices: list[VirtualDevice]):
         if partitioner.n_shards != len(devices):
             raise ValueError(
                 f"partitioner has {partitioner.n_shards} shards but "
@@ -50,6 +50,7 @@ class ExchangeOperator:
         local_tables: list[Table],
         dtypes,
         provenance: Provenance,
+        predicate: str | None = None,
     ) -> list[Table]:
         """Re-partition per-shard delta tables to their owner shards.
 
@@ -57,14 +58,15 @@ class ExchangeOperator:
         iteration; the result's entry ``t`` concatenates every row owned
         by shard ``t`` (source-shard order, so the routing is
         deterministic).  Cross-shard rows charge the sender's exchange
-        cost model.
+        cost model.  ``predicate`` lets a keyed :class:`ShardMap` apply
+        its per-predicate key columns and hot-key splits to the routing.
         """
         n = self.n_shards
         inbound: list[list[Table]] = [[] for _ in range(n)]
         for source, table in enumerate(local_tables):
             if table.n_rows == 0:
                 continue
-            for target, part in enumerate(self.partitioner.split(table)):
+            for target, part in enumerate(self.partitioner.split(table, predicate)):
                 if part.n_rows == 0:
                     continue
                 if target != source:

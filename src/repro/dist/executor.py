@@ -38,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from .exchange import ExchangeOperator
-from .partition import HashPartitioner
+from .partition import HashPartitioner, ShardMap
 from ..apm.compiler import ApmProgram, CompiledStratum
 from ..apm.interpreter import DEFAULT_MAX_ITERATIONS, ApmInterpreter
 from ..apm.schedule import cached_plan
@@ -82,25 +82,42 @@ class ShardedExecutor:
         enable_buffer_reuse: bool = True,
         enable_stratum_scheduling: bool = True,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        shard_map: ShardMap | None = None,
     ):
         if len(devices) < 1:
             raise ValueError("ShardedExecutor needs at least one device")
+        if shard_map is not None and shard_map.n_shards != len(devices):
+            raise ValueError(
+                f"shard map covers {shard_map.n_shards} shards but "
+                f"{len(devices)} devices were supplied"
+            )
         self.devices = devices
-        self.partitioner = HashPartitioner(len(devices))
+        self.partitioner = shard_map or HashPartitioner(len(devices))
         self.exchange = ExchangeOperator(self.partitioner, devices)
+        self.enable_static_reuse = enable_static_reuse
+        self.enable_buffer_reuse = enable_buffer_reuse
         self.enable_stratum_scheduling = enable_stratum_scheduling
         self.max_iterations = max_iterations
-        self.interpreters = [
-            ApmInterpreter(
-                device,
-                enable_static_reuse=enable_static_reuse,
-                enable_buffer_reuse=enable_buffer_reuse,
-                enable_stratum_scheduling=enable_stratum_scheduling,
-                max_iterations=max_iterations,
-            )
-            for device in devices
-        ]
+        self.interpreters = [self._make_interpreter(device) for device in devices]
         self.iterations_run = 0
+        self.reshards_applied = 0
+        #: Optional mid-fixpoint reshard probe: called as
+        #: ``hook(executor, stratum, iteration)`` at the top of every
+        #: fix-point iteration; returning a :class:`ShardMap` re-homes
+        #: the in-flight frontier onto the new shard set via
+        #: :meth:`apply_reshard`, returning None continues as-is.
+        self.reshard_hook = None
+        self._views: list[ShardView] = []
+        self._shard_feedbacks: list[PlanFeedback] | None = None
+
+    def _make_interpreter(self, device: VirtualDevice) -> ApmInterpreter:
+        return ApmInterpreter(
+            device,
+            enable_static_reuse=self.enable_static_reuse,
+            enable_buffer_reuse=self.enable_buffer_reuse,
+            enable_stratum_scheduling=self.enable_stratum_scheduling,
+            max_iterations=self.max_iterations,
+        )
 
     @property
     def n_shards(self) -> int:
@@ -137,53 +154,57 @@ class ShardedExecutor:
                 "via Database.rebuild() (LobsterEngine.run does this) first"
             )
         database.finalize()
-        views = self._make_views(program, database)
+        self._views = self._make_views(program, database)
         transfers = cached_plan(program, self.enable_stratum_scheduling)
         # Each shard records into a private feedback: a shard's largest
         # firing is ~1/N of the rule's global output, so comparing it
         # against the whole-program estimates would inflate drift ~Nx
         # and trigger spurious re-planning.  Per-shard actuals are
         # summed into the caller's feedback after the run.
-        shard_feedbacks = (
+        self._shard_feedbacks = (
             [PlanFeedback() for _ in self.interpreters]
             if feedback is not None
             else None
         )
         for interpreter, local in zip(
-            self.interpreters, shard_feedbacks or [None] * self.n_shards
+            self.interpreters, self._shard_feedbacks or [None] * self.n_shards
         ):
             interpreter.feedback = local
         try:
             for index, stratum in enumerate(program.strata):
                 # Per-shard stratum spans (no-ops unless the engine
                 # attached tracers): each shard's lane shows its own
-                # stratum timeline on its own busy clock.
+                # stratum timeline on its own busy clock.  A mid-stratum
+                # reshard may swap the interpreter list, so the spans are
+                # finished against the set that opened them.
+                openers = list(self.interpreters)
                 opened_spans = [
                     interpreter._start_stratum_span(index, stratum)
-                    for interpreter in self.interpreters
+                    for interpreter in openers
                 ]
                 try:
                     for shard in range(self.n_shards):
                         self.interpreters[shard]._charge_transfers(
-                            transfers.get(index, ()), views[shard], to_device=True
+                            transfers.get(index, ()), self._views[shard], to_device=True
                         )
                         self.interpreters[shard].begin_stratum()
-                    self._run_stratum(stratum, program, views, feedback)
+                    self._run_stratum(stratum, program, feedback)
                     for shard in range(self.n_shards):
                         self.interpreters[shard]._charge_transfers(
-                            transfers.get(index, ()), views[shard], to_device=False
+                            transfers.get(index, ()), self._views[shard], to_device=False
                         )
                 finally:
-                    for interpreter, opened in zip(self.interpreters, opened_spans):
+                    for interpreter, opened in zip(openers, opened_spans):
                         interpreter._finish_stratum_span(opened)
         finally:
             for interpreter in self.interpreters:
                 interpreter.feedback = None
-        if feedback is not None and shard_feedbacks is not None:
+        if feedback is not None and self._shard_feedbacks is not None:
             # Sum the shards' per-rule peaks (the per-shard maxima may
             # come from different iterations, so this upper-bounds the
             # true global peak firing — the right bias for a drift
             # signal that must not under-report).
+            shard_feedbacks = self._shard_feedbacks
             keys = {key for local in shard_feedbacks for key in local.rule_actuals}
             for key in keys:
                 feedback.record_rule(
@@ -194,7 +215,7 @@ class ShardedExecutor:
                 for name, rows in local.instruction_rows.items():
                     feedback.record_instruction(name, rows)
         # Shard 0's replica is the authoritative result (all identical).
-        for name, rel in views[0].relations.items():
+        for name, rel in self._views[0].relations.items():
             database.relations[name] = rel
 
     # ------------------------------------------------------------------
@@ -230,6 +251,97 @@ class ShardedExecutor:
                     rel._stats = None
                 view.relations[name] = clone
         return views
+
+    def apply_reshard(self, shard_map: ShardMap, stratum=None) -> None:
+        """Re-home the in-flight run onto a new :class:`ShardMap`,
+        growing or shrinking the device pool to match.
+
+        Replication makes this cheap and exact: every shard holds an
+        identical copy of ``full`` and ``changed`` state (each applied
+        the same global deltas), and only the ``recent`` frontier is
+        partitioned.  Re-homing therefore unions the per-shard frontier
+        masks back into the global frontier and re-partitions it under
+        the new map; no closure rows move at all.  (The *modeled* cost of
+        re-homing — sizing a shard's replica onto a fresh device — is
+        priced and charged by the serve-layer planner, which decides
+        whether a reshard pays for itself before ever calling this.)
+
+        Growth keeps the existing devices (busy clocks and arenas carry
+        over) and appends fresh ones cloned from the first device's cost
+        parameters; shrink drops the suffix.  The executor's ``devices``
+        list is resized in place, so an engine that handed its
+        ``shard_devices`` list over observes the change.
+        """
+        if not self._views:
+            raise LobsterError(
+                "apply_reshard needs an in-flight run (no shard views); "
+                "to change the map between runs build a new executor"
+            )
+        old_views = self._views
+        old_n = self.n_shards
+        n = shard_map.n_shards
+        if n > old_n:
+            template = self.devices[0]
+            for _ in range(old_n, n):
+                device = VirtualDevice(
+                    capacity_bytes=template.capacity_bytes,
+                    bandwidth_bytes_per_s=template.bandwidth_bytes_per_s,
+                    transfer_latency_s=template.transfer_latency_s,
+                    reuse_buffers=template.reuse_buffers,
+                    exchange_bandwidth_bytes_per_s=template.exchange_bandwidth_bytes_per_s,
+                    exchange_latency_s=template.exchange_latency_s,
+                )
+                self.devices.append(device)
+                interpreter = self._make_interpreter(device)
+                if self._shard_feedbacks is not None:
+                    local = PlanFeedback()
+                    self._shard_feedbacks.append(local)
+                    interpreter.feedback = local
+                self.interpreters.append(interpreter)
+        elif n < old_n:
+            for interpreter in self.interpreters[n:]:
+                interpreter.feedback = None
+            del self.devices[n:]
+            del self.interpreters[n:]
+        self.partitioner = shard_map
+        self.exchange = ExchangeOperator(shard_map, self.devices)
+        stratum_predicates = (
+            set(stratum.predicates) if stratum is not None else set()
+        )
+        provenance = old_views[0].provenance
+        new_views = [
+            ShardView(old_views[0].schemas, provenance) for _ in range(n)
+        ]
+        for name, rel in old_views[0].relations.items():
+            # Union the frontier across the old shard set (a partition
+            # for in-stratum predicates, identical replicas otherwise —
+            # either way the union is the global mask).
+            union_recent = rel.recent_mask.copy()
+            union_changed = rel.changed_mask.copy()
+            for view in old_views[1:]:
+                other = view.relations.get(name)
+                if other is not None:
+                    union_recent |= other.recent_mask
+                    union_changed |= other.changed_mask
+            owners = (
+                shard_map.owners(rel.full, name)
+                if name in stratum_predicates
+                else None
+            )
+            for index, view in enumerate(new_views):
+                clone = StoredRelation(name, rel.dtypes, provenance)
+                clone.full = rel.full
+                clone.changed_mask = union_changed.copy()
+                if owners is None:
+                    clone.recent_mask = union_recent.copy()
+                else:
+                    clone.recent_mask = union_recent & (owners == index)
+                if index == 0:
+                    clone._stats = rel._stats
+                    rel._stats = None
+                view.relations[name] = clone
+        self._views = new_views
+        self.reshards_applied += 1
 
     def _exchange_snapshot(self) -> list[tuple[float, int]] | None:
         """Per-device (exchange_seconds, exchange_bytes) before a
@@ -280,14 +392,16 @@ class ShardedExecutor:
         self,
         stratum: CompiledStratum,
         program: ApmProgram,
-        views: list[ShardView],
         feedback=None,
     ) -> None:
+        views = self._views
         n = self.n_shards
         provenance = views[0].provenance
         # Seed: full frontier, partitioned by ownership.
         for predicate in stratum.predicates:
-            owners = self.partitioner.owners(views[0].relation(predicate).full)
+            owners = self.partitioner.owners(
+                views[0].relation(predicate).full, predicate
+            )
             for shard in range(n):
                 rel = views[shard].relation(predicate)
                 rel.mark_all_recent()
@@ -297,6 +411,12 @@ class ShardedExecutor:
         while True:
             iteration += 1
             self.iterations_run += 1
+            if self.reshard_hook is not None:
+                new_map = self.reshard_hook(self, stratum, iteration)
+                if new_map is not None:
+                    self.apply_reshard(new_map, stratum)
+                    views = self._views
+            n = self.n_shards
             shard_deltas: list[dict[str, list[Table]]] = []
             for shard in range(n):
                 interpreter = self.interpreters[shard]
@@ -340,7 +460,9 @@ class ShardedExecutor:
                             feedback.record_shard(shard, table.n_rows)
                 # Route every derived row to its owner; ⊕-merge there.
                 before = self._exchange_snapshot()
-                owned = self.exchange.shuffle(local, dtypes, provenance)
+                owned = self.exchange.shuffle(
+                    local, dtypes, provenance, predicate=predicate
+                )
                 self._trace_exchange(
                     "exchange.shuffle", predicate, iteration, before
                 )
@@ -365,7 +487,9 @@ class ShardedExecutor:
                 # O(closure x iterations).
                 rel0 = views[0].relation(predicate)
                 frontier_rows = np.flatnonzero(rel0.recent_mask)
-                owners = self.partitioner.owners(rel0.full.take(frontier_rows))
+                owners = self.partitioner.owners(
+                    rel0.full.take(frontier_rows), predicate
+                )
                 for shard in range(n):
                     rel = views[shard].relation(predicate)
                     mask = np.zeros(rel.full.n_rows, dtype=bool)

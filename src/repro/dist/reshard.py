@@ -1,0 +1,293 @@
+"""Cost-gated reshard planning: price a repartition before paying for it.
+
+The planner closes the loop between the stats layer's skew evidence and
+the executor's :class:`~repro.dist.partition.ShardMap`: given the
+observed per-run busy-seconds and a per-relation workload summary (row
+counts, key columns, heavy hitters from
+:mod:`repro.stats.hotkeys`), it searches a small candidate space —
+shard counts from a configured band, with and without hot-key splits —
+and prices each candidate the same way the engine's cost model prices
+exchanges:
+
+* **modeled load** is counted in *row units*: a keyed relation's
+  residual (non-hot) mass spreads uniformly, each heavy hitter lands
+  whole on its key's owner (or ``1/S`` everywhere when split), and the
+  bottleneck shard's units stand in for the fix-point's critical path;
+* **payback** scales the *observed* busy-seconds by the candidate's
+  unit ratio — the planner never claims speedups the model alone
+  invents, it extrapolates from a measured run — and multiplies by the
+  expected ``horizon_runs`` the new layout will serve;
+* **migration cost** is rows-that-change-owner × the exchange byte
+  cost, the identical ``latency + bytes/bandwidth`` charge a shuffle of
+  the same rows would pay.
+
+A plan **migrates only when payback strictly exceeds migration cost**.
+Every decision is deterministic: candidates are enumerated in a fixed
+order and ties prefer the status quo, then fewer shards, then fewer
+splits — so a fleet of replicas planning from identical stats reaches
+identical layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .partition import ShardMap, hash_rows, reduce_hashes
+from ..gpu.device import (
+    DEFAULT_EXCHANGE_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_EXCHANGE_LATENCY_S,
+)
+from ..stats.hotkeys import HotKey
+
+__all__ = ["RelationLoad", "ReshardPlan", "ReshardPlanner"]
+
+#: Modeled bytes per routed row (matches CostModel.for_shards: two int64
+#: key columns plus an int64 tag).
+DEFAULT_ROW_BYTES = 24.0
+
+
+@dataclass(frozen=True)
+class RelationLoad:
+    """One relation's contribution to the workload being balanced."""
+
+    rows: float
+    key_column: int | None = None
+    hot_keys: tuple[HotKey, ...] = ()
+
+    @property
+    def hot_mass(self) -> float:
+        return min(sum(key.count for key in self.hot_keys), self.rows)
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """A priced repartition decision (``migrate`` is the verdict)."""
+
+    target: ShardMap
+    current_shards: int
+    units_before: float
+    units_after: float
+    busy_before_s: float
+    busy_after_s: float
+    payback_s: float
+    migration_rows: float
+    migration_s: float
+    migrate: bool
+    reason: str
+
+    @property
+    def target_shards(self) -> int:
+        return self.target.n_shards
+
+    @property
+    def splits(self) -> int:
+        return sum(len(v) for v in self.target.splits.values())
+
+
+def _key_owner(value, n_shards: int) -> int:
+    """Owner shard of a key value under the base (unsplit) keyed hash —
+    the same single-column ``hash_rows`` + Lemire reduction the
+    :class:`ShardMap` applies, so the model and the router agree."""
+    column = np.asarray([value])
+    if column.dtype.kind == "f":
+        column = column.astype(np.float64)
+    else:
+        column = column.astype(np.int64)
+    return int(reduce_hashes(hash_rows([column], 1), n_shards)[0])
+
+
+class ReshardPlanner:
+    """Searches shard-count × hot-key-split candidates and gates
+    migration on priced payback."""
+
+    def __init__(
+        self,
+        key_columns: dict[str, int] | None = None,
+        *,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        horizon_runs: int = 8,
+        row_bytes: float = DEFAULT_ROW_BYTES,
+        exchange_bandwidth_bytes_per_s: float = DEFAULT_EXCHANGE_BANDWIDTH_BYTES_PER_S,
+        exchange_latency_s: float = DEFAULT_EXCHANGE_LATENCY_S,
+    ):
+        if min_shards < 1 or max_shards < min_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"[{min_shards}, {max_shards}]"
+            )
+        self.key_columns = dict(key_columns or {})
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.horizon_runs = horizon_runs
+        self.row_bytes = row_bytes
+        self.exchange_bandwidth_bytes_per_s = exchange_bandwidth_bytes_per_s
+        self.exchange_latency_s = exchange_latency_s
+
+    # ------------------------------------------------------------------
+
+    def modeled_units(
+        self, shard_map: ShardMap, workload: dict[str, RelationLoad]
+    ) -> float:
+        """Bottleneck shard's modeled load (row units) under a map."""
+        n = shard_map.n_shards
+        loads = np.zeros(n)
+        for name, load in workload.items():
+            keyed = shard_map.key_columns.get(name) is not None
+            if not keyed:
+                # Row-hash routing spreads everything uniformly; skew in
+                # a value column is invisible to it.
+                loads += load.rows / n
+                continue
+            loads += (load.rows - load.hot_mass) / n
+            overrides = shard_map.splits.get(name, {})
+            for key in load.hot_keys:
+                owners = overrides.get(key.value)
+                if owners:
+                    loads[list(owners)] += key.count / len(owners)
+                else:
+                    loads[_key_owner(key.value, n)] += key.count
+        return float(loads.max()) if n else 0.0
+
+    def _migration_rows(
+        self,
+        current: ShardMap,
+        target: ShardMap,
+        workload: dict[str, RelationLoad],
+    ) -> float:
+        """Modeled rows whose owner changes between the two maps.
+
+        A shard-count change re-homes roughly ``1 - min/max`` of every
+        row (Lemire ownership is contiguous in hash space, so growing
+        S→S' strands each row with probability ~min/max of keeping its
+        shard); toggling a hot key's split moves ``1 - 1/S`` of that
+        key's mass.  Capped at the total workload.
+        """
+        total = sum(load.rows for load in workload.values())
+        moved = 0.0
+        if current.n_shards != target.n_shards:
+            small = min(current.n_shards, target.n_shards)
+            large = max(current.n_shards, target.n_shards)
+            moved += total * (1.0 - small / large)
+        for name, load in workload.items():
+            before = current.splits.get(name, {})
+            after = target.splits.get(name, {})
+            for key in load.hot_keys:
+                was = key.value in before
+                now = key.value in after
+                if was != now:
+                    n = target.n_shards if now else current.n_shards
+                    moved += key.count * (1.0 - 1.0 / max(n, 1))
+        return min(moved, total)
+
+    def migration_seconds(self, migration_rows: float, target_shards: int) -> float:
+        """Exchange-model price of moving ``migration_rows`` rows."""
+        if migration_rows <= 0.0:
+            return 0.0
+        nbytes = migration_rows * self.row_bytes
+        return (
+            self.exchange_latency_s * max(target_shards, 1)
+            + nbytes / self.exchange_bandwidth_bytes_per_s
+        )
+
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self, workload: dict[str, RelationLoad]
+    ) -> list[ShardMap]:
+        """The deterministic candidate space: every shard count in the
+        configured band, with and without splitting every reported heavy
+        hitter across the whole shard set."""
+        out: list[ShardMap] = []
+        any_hot = any(
+            load.hot_keys
+            for name, load in sorted(workload.items())
+            if self.key_columns.get(name) is not None
+        )
+        for n in range(self.min_shards, self.max_shards + 1):
+            out.append(ShardMap(n, key_columns=self.key_columns))
+            if any_hot and n > 1:
+                splits = {
+                    name: {
+                        key.value: tuple(range(n)) for key in load.hot_keys
+                    }
+                    for name, load in sorted(workload.items())
+                    if self.key_columns.get(name) is not None
+                    and load.hot_keys
+                }
+                out.append(
+                    ShardMap(n, key_columns=self.key_columns, splits=splits)
+                )
+        return out
+
+    def plan(
+        self,
+        current: ShardMap,
+        workload: dict[str, RelationLoad],
+        *,
+        busy_s: float,
+        horizon_runs: int | None = None,
+    ) -> ReshardPlan:
+        """Price the best candidate layout against the migration bill.
+
+        ``busy_s`` is the observed per-run busy-seconds under
+        ``current`` (the planner's calibration point); ``horizon_runs``
+        the number of future runs expected to amortize the migration
+        (defaults to the planner's configured horizon).
+        """
+        horizon = self.horizon_runs if horizon_runs is None else horizon_runs
+        units_before = self.modeled_units(current, workload)
+        best = current
+        best_units = units_before
+        for candidate in self.candidates(workload):
+            units = self.modeled_units(candidate, workload)
+            # Strict improvement with a deterministic margin: ties (and
+            # sub-percent noise) keep the earlier — smaller, simpler —
+            # candidate, and the status quo beats everything it ties.
+            if units < best_units * (1.0 - 1e-9):
+                best = candidate
+                best_units = units
+        same_layout = (
+            best.n_shards == current.n_shards
+            and best.key_columns == current.key_columns
+            and best.splits == current.splits
+        )
+        if same_layout or units_before <= 0.0:
+            return ReshardPlan(
+                target=current,
+                current_shards=current.n_shards,
+                units_before=units_before,
+                units_after=units_before,
+                busy_before_s=busy_s,
+                busy_after_s=busy_s,
+                payback_s=0.0,
+                migration_rows=0.0,
+                migration_s=0.0,
+                migrate=False,
+                reason="already-balanced",
+            )
+        busy_after_s = busy_s * best_units / units_before
+        payback_s = (busy_s - busy_after_s) * max(horizon, 0)
+        migration_rows = self._migration_rows(current, best, workload)
+        migration_s = self.migration_seconds(migration_rows, best.n_shards)
+        migrate = payback_s > migration_s
+        reason = (
+            f"payback {payback_s:.3e}s "
+            f"{'>' if migrate else '<='} migration {migration_s:.3e}s "
+            f"over {horizon} runs"
+        )
+        return ReshardPlan(
+            target=best if migrate else current,
+            current_shards=current.n_shards,
+            units_before=units_before,
+            units_after=best_units,
+            busy_before_s=busy_s,
+            busy_after_s=busy_after_s,
+            payback_s=payback_s,
+            migration_rows=migration_rows,
+            migration_s=migration_s,
+            migrate=migrate,
+            reason=reason,
+        )

@@ -200,6 +200,7 @@ class LobsterEngine:
         cache: ProgramCache | None | bool = None,
         shards: int = 1,
         shard_devices: list[VirtualDevice] | None = None,
+        shard_map=None,
         adaptive: bool = False,
         replan_drift: float = 8.0,
         jit: bool | JitConfig = False,
@@ -216,7 +217,11 @@ class LobsterEngine:
         cross-device traffic.  Results are identical to a single-device
         run; programs with negation transparently fall back to the
         single device.  ``shard_devices`` supplies the pool explicitly
-        (its length overrides ``shards``).
+        (its length overrides ``shards``).  ``shard_map`` (a
+        :class:`~repro.dist.ShardMap`) customizes row ownership —
+        per-predicate key columns and hot-key split overrides — and
+        implies the shard count; :meth:`reshard` swaps it between runs
+        (the elastic serving path's entry point).
 
         ``adaptive=True`` turns on statistics-driven re-planning: every
         run snapshots the database's stats catalog, fetches (or compiles)
@@ -326,6 +331,19 @@ class LobsterEngine:
         self.ram = compiled.ram
         self.apm: ApmProgram = compiled.apm
         self._batch_fact_rows = compiled.batch_fact_rows
+        if shard_map is not None:
+            if shard_devices is not None and shard_map.n_shards != len(shard_devices):
+                raise LobsterError(
+                    f"shard_map covers {shard_map.n_shards} shards but "
+                    f"{len(shard_devices)} shard_devices were supplied"
+                )
+            if shards > 1 and shard_map.n_shards != shards:
+                raise LobsterError(
+                    f"shard_map covers {shard_map.n_shards} shards but "
+                    f"shards={shards} was requested"
+                )
+            shards = shard_map.n_shards
+        self.shard_map = shard_map
         if device is not None and shard_devices is not None:
             raise LobsterError(
                 "pass either device= (single-device) or shard_devices= "
@@ -463,6 +481,47 @@ class LobsterEngine:
         program non-partitionable: stratified negation is only sound
         against complete relations, so the engine falls back)."""
         return self.shards > 1 and not self.apm.has_negation
+
+    def reshard(self, shard_map) -> None:
+        """Adopt a new shard layout for subsequent runs.
+
+        The elastic serving path calls this between micro-batches once
+        the :class:`~repro.dist.ReshardPlanner` decides a migration pays
+        for itself.  The device pool is resized to match — existing
+        shard devices are kept (their profiles are the serving layer's
+        accounting surface), growth appends fresh devices, shrink drops
+        the suffix — and the cached sharded executor is discarded so the
+        next run rebuilds its replicas under the new map.  Because
+        sharded runs always rebuild from the fact log, the swap needs no
+        state migration here; the *modeled* migration cost is charged by
+        the planner's accounting where the decision is made.
+
+        Resharding to one shard degenerates to single-device execution
+        on the engine's ``device``, matching the constructor's contract.
+        """
+        n = shard_map.n_shards
+        if n < 1:
+            raise LobsterError(f"shard_map must cover >= 1 shard, got {n}")
+        if n > len(self.shard_devices):
+            template = (
+                self.shard_devices[0] if self.shard_devices else self.device
+            )
+            for _ in range(n - len(self.shard_devices)):
+                self.shard_devices.append(
+                    VirtualDevice(
+                        capacity_bytes=template.capacity_bytes,
+                        bandwidth_bytes_per_s=template.bandwidth_bytes_per_s,
+                        transfer_latency_s=template.transfer_latency_s,
+                        reuse_buffers=template.reuse_buffers,
+                        exchange_bandwidth_bytes_per_s=template.exchange_bandwidth_bytes_per_s,
+                        exchange_latency_s=template.exchange_latency_s,
+                    )
+                )
+        elif n < len(self.shard_devices):
+            del self.shard_devices[n:]
+        self.shards = n
+        self.shard_map = shard_map
+        self._sharded_executor = None
 
     def _select_plan(self, database: Database) -> CompiledProgram:
         """The artifact this run executes: the engine's compile-time plan
@@ -878,6 +937,7 @@ class LobsterEngine:
                 enable_buffer_reuse=self.optimizations.buffer_reuse,
                 enable_stratum_scheduling=self.optimizations.stratum_scheduling,
                 max_iterations=self.max_iterations,
+                shard_map=self.shard_map,
             )
         executor = self._sharded_executor
         if reset_profile:

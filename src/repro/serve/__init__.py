@@ -16,6 +16,11 @@ or refuse.  Five pieces compose it:
 * :mod:`~repro.serve.scheduler` — the clock-driven event loop
   dispatching micro-batches onto the least-loaded pool device through
   warm per-program sessions;
+* :mod:`~repro.serve.elastic` — the :class:`ElasticController`: between
+  micro-batches it observes served databases for key skew, prices a
+  repartition via the :class:`~repro.dist.ReshardPlanner`, and
+  grows/shrinks its managed engine's shard set (or splits hot keys)
+  when the payback beats the migration cost;
 * :mod:`~repro.serve.loadgen` / :mod:`~repro.serve.metrics` — seeded
   Poisson/bursty open-loop arrivals, and the counter/gauge/histogram
   registry every layer reports into;
@@ -30,6 +35,7 @@ latency distribution is deterministic and testable.
 """
 
 from .admission import AdmissionController, ServiceEstimator
+from .elastic import ElasticController
 from .loadgen import LoadGenerator
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .queue import BatchGroup, RequestQueue
@@ -52,6 +58,7 @@ __all__ = [
     "AdmissionController",
     "BatchGroup",
     "Counter",
+    "ElasticController",
     "Gauge",
     "Histogram",
     "LoadGenerator",

@@ -1,0 +1,184 @@
+"""Elastic shard-set control for served engines.
+
+An :class:`ElasticController` owns the detect → price → migrate loop for
+one sharded :class:`~repro.runtime.engine.LobsterEngine` living behind
+the serving schedulers:
+
+* **detect** — after every micro-batch the scheduler calls
+  :meth:`observe`, which snapshots the served database's per-relation
+  row counts and (for the planner's keyed relations) heavy-hitter
+  reports from the stats layer's count-min sketches, plus the batch's
+  observed busy-seconds;
+* **price** — between micro-batches :meth:`maybe_reshard` asks the
+  :class:`~repro.dist.ReshardPlanner` to price the best candidate layout
+  against the migration bill (rows that change owner × the exchange
+  cost model);
+* **migrate** — only when the priced payback strictly beats the
+  migration cost does the controller swap the engine's
+  :class:`~repro.dist.ShardMap` (growing or shrinking its device pool)
+  via :meth:`LobsterEngine.reshard
+  <repro.runtime.engine.LobsterEngine.reshard>`; the scheduler charges
+  the modeled migration seconds to the engine's serve-clock horizon, so
+  a migration delays the next batch exactly as a shuffle of the same
+  bytes would.
+
+Every decision is counted (``reshard.plans`` / ``reshard.migrations`` /
+``reshard.declined``) and traced (a ``reshard.plan`` event per pricing,
+a ``reshard.migrate`` span covering the modeled migration window), so a
+serve trace shows *why* the shard set changed shape mid-stream.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from ..dist.partition import ShardMap
+from ..dist.reshard import RelationLoad, ReshardPlan, ReshardPlanner
+from ..obs import NULL_TRACER, Tracer
+from ..stats.hotkeys import (
+    DEFAULT_MASS_THRESHOLD,
+    DEFAULT_TOP_K,
+    hot_key_report,
+)
+
+__all__ = ["ElasticController"]
+
+
+class ElasticController:
+    """Observe served traffic, reprice the shard layout, migrate when it
+    pays.  One controller manages exactly one engine."""
+
+    def __init__(
+        self,
+        engine,
+        planner: ReshardPlanner | None = None,
+        *,
+        key_columns: dict[str, int] | None = None,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        horizon_runs: int = 8,
+        top_k: int = DEFAULT_TOP_K,
+        mass_threshold: float = DEFAULT_MASS_THRESHOLD,
+        cooldown_runs: int = 1,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        """``key_columns`` (``{predicate: column}``) names the relations
+        whose key skew the controller watches; defaults to the engine's
+        current :class:`ShardMap`'s keys.  ``cooldown_runs`` batches must
+        be observed between migrations (a reshard invalidates the very
+        observations that justified it)."""
+        self.engine = engine
+        if planner is None:
+            if key_columns is None and engine.shard_map is not None:
+                key_columns = engine.shard_map.key_columns
+            planner = ReshardPlanner(
+                key_columns,
+                min_shards=min_shards,
+                max_shards=max_shards,
+                horizon_runs=horizon_runs,
+            )
+        self.planner = planner
+        self.top_k = top_k
+        self.mass_threshold = mass_threshold
+        self.cooldown_runs = cooldown_runs
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self._workload: dict[str, RelationLoad] | None = None
+        self._busy_s = 0.0
+        self._runs_since_reshard = cooldown_runs  # first plan needs no wait
+        self.plans: list[ReshardPlan] = []
+
+    # ------------------------------------------------------------------
+
+    def manages(self, engine) -> bool:
+        return engine is self.engine
+
+    def current_map(self) -> ShardMap:
+        """The engine's live layout (a plain row-hash map when the
+        engine was built without an explicit :class:`ShardMap`)."""
+        return self.engine.shard_map or ShardMap(self.engine.shards)
+
+    # ------------------------------------------------------------------
+
+    def observe(self, database, result) -> None:
+        """Fold one served batch's evidence: the database's relation
+        sizes + hot keys, and the run's observed busy-seconds."""
+        workload: dict[str, RelationLoad] = {}
+        for name, column in sorted(self.planner.key_columns.items()):
+            rel = database.relations.get(name)
+            if rel is None or rel.full.n_rows == 0:
+                continue
+            if column >= rel.full.arity:
+                continue
+            report = hot_key_report(
+                name,
+                column,
+                rel.enable_stats(),
+                rel.full.columns[column],
+                top_k=self.top_k,
+                mass_threshold=self.mass_threshold,
+            )
+            workload[name] = RelationLoad(
+                rows=float(rel.full.n_rows),
+                key_column=column,
+                hot_keys=report.keys,
+            )
+        for name, rel in database.relations.items():
+            if name not in workload and rel.full.n_rows:
+                workload[name] = RelationLoad(rows=float(rel.full.n_rows))
+        self._workload = workload
+        self._busy_s = result.service_seconds
+        self._runs_since_reshard += 1
+
+    def maybe_reshard(self, now_s: float = 0.0) -> ReshardPlan | None:
+        """Price the layout against the latest observations; migrate the
+        engine when (and only when) payback beats migration cost.
+        Returns the priced plan, or None when there is nothing to plan
+        from (no observations yet, or still in cooldown)."""
+        if self._workload is None or self._busy_s <= 0.0:
+            return None
+        if self._runs_since_reshard < self.cooldown_runs:
+            return None
+        plan = self.planner.plan(
+            self.current_map(), self._workload, busy_s=self._busy_s
+        )
+        self.plans.append(plan)
+        self.metrics.counter("reshard.plans").inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "reshard.plan",
+                t=now_s,
+                track="reshard",
+                migrate=plan.migrate,
+                shards_before=plan.current_shards,
+                shards_after=plan.target_shards,
+                splits=plan.splits,
+                payback_s=plan.payback_s,
+                migration_s=plan.migration_s,
+                reason=plan.reason,
+            )
+        if not plan.migrate:
+            self.metrics.counter("reshard.declined").inc()
+            return plan
+        self.engine.reshard(plan.target)
+        self._runs_since_reshard = 0
+        # The observations that justified this layout described the old
+        # one; require a fresh batch before planning again.
+        self._workload = None
+        self._busy_s = 0.0
+        self.metrics.counter("reshard.migrations").inc()
+        self.metrics.histogram("reshard.migration_s").observe(plan.migration_s)
+        self.metrics.gauge("reshard.shards").set(plan.target_shards)
+        self.metrics.gauge("reshard.splits").set(plan.splits)
+        if tracer.enabled:
+            span = tracer.start(
+                "reshard.migrate",
+                t=now_s,
+                track="reshard",
+                shards_before=plan.current_shards,
+                shards_after=plan.target_shards,
+                rows=plan.migration_rows,
+            )
+            tracer.finish(span, now_s + plan.migration_s)
+        return plan

@@ -179,6 +179,7 @@ class Scheduler:
         admission: AdmissionController | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        elastic=None,
     ):
         """``tracer`` (a :class:`~repro.obs.Tracer`) records span
         timelines on the serve clock for every sampled request —
@@ -186,9 +187,23 @@ class Scheduler:
         engine-run tree down to kernels — exportable to Perfetto.  The
         tracer's ``sample_every`` picks which tickets are traced;
         batches with no sampled member run with tracing muted, so
-        sampling bounds trace volume without touching the schedule."""
+        sampling bounds trace volume without touching the schedule.
+
+        ``elastic`` (an :class:`~repro.serve.elastic.ElasticController`)
+        admits its managed *sharded* engine — normally rejected, since a
+        sharded engine splits one query across devices rather than
+        spreading queries over the pool.  The managed engine runs on its
+        own shard devices (never a pool slot), serialized on a private
+        busy horizon; after every one of its micro-batches the
+        controller observes the served database and may grow/shrink the
+        shard set or split hot keys before the next batch, charging the
+        modeled migration seconds to that horizon."""
         self.pool = pool or DevicePool(n_devices, policy="least-loaded")
         self.tracer = tracer or NULL_TRACER
+        self.elastic = elastic
+        #: Serve-clock time the elastic engine's shard set is busy until
+        #: (its batches + migration windows); reset per drain.
+        self._elastic_free_at = 0.0
         #: Open request spans of the current drain, by ticket.
         self._request_spans: dict[int, object] = {}
         self.classes = dict(classes) if classes is not None else default_slo_classes()
@@ -216,11 +231,14 @@ class Scheduler:
                 f"unknown SLO class {request.slo!r}; "
                 f"known: {sorted(self.classes)}"
             )
-        if request.engine._use_sharded():
+        if request.engine._use_sharded() and not self._is_elastic_engine(
+            request.engine
+        ):
             raise LobsterError(
                 "the serving scheduler spreads independent queries across "
                 "a DevicePool; a sharded engine splits one query across "
-                "devices — serve it with shards=1"
+                "devices — serve it with shards=1, or hand it to an "
+                "ElasticController (elastic=) to serve on its shard set"
             )
         if request.ticket is not None:
             raise LobsterError(
@@ -277,6 +295,7 @@ class Scheduler:
 
         self.outcomes = {}  # this drain's records only (no unbounded growth)
         self._request_spans = {}
+        self._elastic_free_at = 0.0
         queue = RequestQueue(self.classes)
         self._queue = queue
         run_outcomes: list[Outcome] = []
@@ -290,15 +309,27 @@ class Scheduler:
                 self._admit(arrivals[cursor], now, queue, free_at, run_outcomes)
                 cursor += 1
 
-            # 2. Dispatch while a group is ready and a device is free.
+            # 2. Dispatch while a group is ready and its executor — a
+            # free pool device, or the elastic engine's shard set — is
+            # available.
             while True:
                 ready = queue.ready_groups(now)
                 if not ready:
                     break
                 free = [i for i, t in enumerate(free_at) if t <= now]
-                if not free:
+                progressed = False
+                for group in ready:
+                    if self._is_elastic_group(group):
+                        if self._elastic_free_at <= now:
+                            self._dispatch_elastic(group, now, queue, run_outcomes)
+                            progressed = True
+                            break
+                    elif free:
+                        self._dispatch(group, now, queue, free_at, free, run_outcomes)
+                        progressed = True
+                        break
+                if not progressed:
                     break
-                self._dispatch(ready[0], now, queue, free_at, free, run_outcomes)
 
             # 3. Advance the clock to the next event.
             candidates: list[float] = []
@@ -309,15 +340,20 @@ class Scheduler:
                 if ready_time is not None and ready_time > now:
                     candidates.append(ready_time)
                 else:
-                    # A group is ready but every device is busy: wake
-                    # when the first one frees up.
-                    candidates.append(min(t for t in free_at if t > now))
+                    # A group is ready but its executor is busy: wake
+                    # when a pool device — or the elastic shard set —
+                    # next frees up.
+                    waits = [t for t in free_at if t > now]
+                    if self._elastic_free_at > now:
+                        waits.append(self._elastic_free_at)
+                    candidates.append(min(waits))
             if not candidates:
                 break
             now = min(candidates)
 
         self._queue = None
         makespan = max(free_at) if free_at else 0.0
+        makespan = max(makespan, self._elastic_free_at)
         self._export_device_metrics()
         report = ServeReport(
             outcomes=sorted(run_outcomes, key=lambda o: o.ticket),
@@ -391,19 +427,26 @@ class Scheduler:
             queue.depth(request.slo)
         )
 
-    def _dispatch(
+    def _is_elastic_engine(self, engine) -> bool:
+        return self.elastic is not None and self.elastic.manages(engine)
+
+    def _is_elastic_group(self, group: BatchGroup) -> bool:
+        return bool(group.requests) and self._is_elastic_engine(
+            group.requests[0].engine
+        )
+
+    def _fill_batch(
         self,
         group: BatchGroup,
         now: float,
         queue: RequestQueue,
-        free_at: list[float],
-        free_devices: list[int],
         run_outcomes: list[Outcome],
-    ) -> None:
+    ) -> list[Request]:
+        """Pop up to a batch from ``group``, shedding deadline-expired
+        requests: under overload the head of a group is exactly where
+        expired requests accumulate, and an undersized batch there would
+        waste the coalescing."""
         slo_class = self.classes[group.slo]
-        # Fill the batch past shed requests: under overload the head of
-        # a group is exactly where expired requests accumulate, and an
-        # undersized batch there would waste the coalescing.
         batch: list[Request] = []
         while group.requests and len(batch) < slo_class.max_batch_size:
             request = queue.pop_batch(group, 1)[0]
@@ -434,6 +477,18 @@ class Scheduler:
         self.metrics.gauge(f"serve.queue_depth.{group.slo}").set(
             queue.depth(group.slo)
         )
+        return batch
+
+    def _dispatch(
+        self,
+        group: BatchGroup,
+        now: float,
+        queue: RequestQueue,
+        free_at: list[float],
+        free_devices: list[int],
+        run_outcomes: list[Outcome],
+    ) -> None:
+        batch = self._fill_batch(group, now, queue, run_outcomes)
         if not batch:
             return
 
@@ -524,6 +579,98 @@ class Scheduler:
             len(batch)
         )
 
+    def _dispatch_elastic(
+        self,
+        group: BatchGroup,
+        now: float,
+        queue: RequestQueue,
+        run_outcomes: list[Outcome],
+    ) -> None:
+        """Dispatch a batch onto the elastic engine's shard set.
+
+        The engine occupies no pool slot: its batches serialize on the
+        controller's private busy horizon, and ``service_seconds`` is
+        the busiest shard's modeled time.  After the batch the
+        controller observes the served database and may migrate the
+        shard layout; the priced migration seconds extend the horizon,
+        so a reshard delays the next micro-batch exactly as the shuffle
+        it models would."""
+        batch = self._fill_batch(group, now, queue, run_outcomes)
+        if not batch:
+            return
+        session = self._session_for(batch[0])
+        tracer = self.tracer
+        batch_span = None
+        if tracer.enabled and any(
+            request.ticket in self._request_spans for request in batch
+        ):
+            batch_span = tracer.start(
+                "serve.batch",
+                t=now,
+                track="elastic",
+                slo=group.slo,
+                size=len(batch),
+                shards=batch[0].engine.shards,
+            )
+            tracer.set_time(now)
+            results = session.run_batch(
+                [request.database for request in batch],
+                retain=False,
+                span_parent=batch_span,
+            )
+            tracer.finish(batch_span, tracer.now)
+        else:
+            with tracer.muted():
+                results = session.run_batch(
+                    [request.database for request in batch], retain=False
+                )
+        start = now
+        elapsed = 0.0
+        for request, result in zip(batch, results):
+            service = result.service_seconds
+            elapsed += service
+            finish = start + elapsed
+            outcome = Outcome(
+                ticket=request.ticket,
+                status=COMPLETED,
+                slo=request.slo,
+                arrival_s=request.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                service_s=service,
+                batch_size=len(batch),
+                result=result,
+                meta=request.meta,
+            )
+            self._record(outcome, run_outcomes)
+            self.admission.estimator.observe(request.program_key, service)
+            span = self._request_spans.pop(request.ticket, None)
+            if span is not None:
+                wait = tracer.start("queue.wait", t=request.arrival_s, parent=span)
+                tracer.finish(wait, start)
+                turn = tracer.start("batch.wait", t=start, parent=span)
+                tracer.finish(turn, finish - service)
+                execute = tracer.start(
+                    "serve.execute",
+                    t=finish - service,
+                    parent=span,
+                    batch_size=len(batch),
+                    shards=request.engine.shards,
+                )
+                tracer.finish(execute, finish)
+                span.attrs["status"] = COMPLETED
+                tracer.finish(span, finish)
+            self.elastic.observe(request.database, result)
+        horizon = start + elapsed
+        plan = self.elastic.maybe_reshard(horizon)
+        if plan is not None and plan.migrate:
+            horizon += plan.migration_s
+        self._elastic_free_at = horizon
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_size", lo=1.0, growth=1.25).observe(
+            len(batch)
+        )
+
     def _record(self, outcome: Outcome, run_outcomes: list[Outcome]) -> None:
         if outcome.ticket in self.outcomes:
             raise LobsterError(
@@ -547,12 +694,16 @@ class Scheduler:
         :attr:`Request.program_key`), shared by every request that
         coalesces on it.  The session runs every request through *its*
         engine, which the key makes sound."""
-        key = request.program_key
+        elastic = self._is_elastic_engine(request.engine)
+        # The elastic engine runs on its own shard devices, not pool
+        # slots, so its session is built poolless (and keyed apart: a
+        # same-program non-elastic engine must not inherit it).
+        key = f"elastic:{request.program_key}" if elastic else request.program_key
         session = self._sessions.get(key)
         if session is None:
             session = LobsterSession(
                 request.engine,
-                pool=self.pool,
+                pool=None if elastic else self.pool,
                 metrics=self.metrics,
                 tracer=self.tracer if self.tracer is not NULL_TRACER else None,
             )

@@ -13,6 +13,7 @@ that trigger re-planning when estimates drift.
 
 from .estimate import CostModel, DEFAULT_ROWS
 from .feedback import PlanFeedback
+from .hotkeys import HotKey, HotKeyReport, hot_key_report, hot_keys
 from .relation_stats import ColumnStats, RelationStats, StatsCatalog
 from .sketches import CountMinSketch, KmvSketch
 
@@ -21,8 +22,12 @@ __all__ = [
     "CostModel",
     "CountMinSketch",
     "DEFAULT_ROWS",
+    "HotKey",
+    "HotKeyReport",
     "KmvSketch",
     "PlanFeedback",
     "RelationStats",
     "StatsCatalog",
+    "hot_key_report",
+    "hot_keys",
 ]

@@ -1,0 +1,130 @@
+"""Heavy-hitter reports from the existing count-min sketches.
+
+The reshard planner needs to know *which* key values carry the mass a
+skewed workload piles onto one shard.  A count-min sketch can answer
+"how often does value v occur?" (never undercounting) but cannot
+enumerate candidates, so the report combines the two things the storage
+layer already has:
+
+* the stored column itself supplies the **candidate set** — its unique
+  values, pre-filtered by exact frequency so only plausible heavy
+  hitters pay a sketch probe;
+* the relation's :class:`~repro.stats.relation_stats.ColumnStats` CMS
+  supplies the **reported counts** — the same estimates the planner's
+  other cardinality machinery trusts, so a hot-key decision and a join
+  order decision never disagree about a frequency.
+
+Reports are deterministic: candidates are probed in sorted order and
+ranked by ``(-count, value)``, so equal-mass keys break ties toward the
+smaller value and two processes always emit identical reports (the
+planner's migrate/decline decision must not depend on dict order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .relation_stats import ColumnStats, RelationStats
+
+__all__ = ["HotKey", "HotKeyReport", "hot_keys", "hot_key_report"]
+
+#: Default fraction of a column's total mass a value must carry to be
+#: reported.  1/16 ≈ what a single key "should" hold on a 16-shard pool;
+#: anything above it is worth splitting.
+DEFAULT_MASS_THRESHOLD = 1.0 / 16.0
+
+#: Default report length.  More than a handful of heavy hitters means
+#: the column is not actually skewed — mass that spread out is what the
+#: base hash partition already handles.
+DEFAULT_TOP_K = 8
+
+
+@dataclass(frozen=True)
+class HotKey:
+    """One heavy hitter: its value, CMS-estimated count, and mass share."""
+
+    value: int | float
+    count: float
+    fraction: float
+
+
+@dataclass(frozen=True)
+class HotKeyReport:
+    """Heavy hitters of one relation column, heaviest first."""
+
+    relation: str
+    column: int
+    total: float
+    keys: tuple[HotKey, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+    @property
+    def hot_fraction(self) -> float:
+        """Share of the column's mass carried by the reported keys."""
+        return sum(key.fraction for key in self.keys)
+
+
+def hot_keys(
+    stats: ColumnStats,
+    values: np.ndarray,
+    *,
+    top_k: int = DEFAULT_TOP_K,
+    mass_threshold: float = DEFAULT_MASS_THRESHOLD,
+) -> tuple[HotKey, ...]:
+    """Top-``top_k`` values above ``mass_threshold`` of the column mass.
+
+    ``values`` is the stored column (or any sample of it) used only for
+    candidate discovery; reported counts come from the sketch.  The
+    exact candidate frequencies pre-filter the probe set — a value whose
+    observed share is under half the threshold cannot clear it in the
+    sketch either, because CMS never undercounts but the *observed*
+    column is the sketch's own input.
+    """
+    total = float(stats.cms.total)
+    if total <= 0.0 or len(values) == 0 or top_k <= 0:
+        return ()
+    unique, counts = np.unique(values, return_counts=True)
+    floor = 0.5 * mass_threshold * len(values)
+    plausible = counts >= max(floor, 1.0)
+    unique, counts = unique[plausible], counts[plausible]
+    if len(unique) > 4 * top_k:
+        # Cap sketch probes: keep the exactly-heaviest few-times-top_k
+        # candidates (stable order: by -count then value).
+        order = np.lexsort((unique, -counts))[: 4 * top_k]
+        unique = unique[order]
+    ranked: list[HotKey] = []
+    for raw in unique:
+        estimate = float(stats.cms.count(raw))
+        fraction = estimate / total
+        if fraction >= mass_threshold:
+            ranked.append(HotKey(raw.item(), estimate, fraction))
+    ranked.sort(key=lambda key: (-key.count, key.value))
+    return tuple(ranked[:top_k])
+
+
+def hot_key_report(
+    relation: str,
+    column: int,
+    stats: RelationStats,
+    values: np.ndarray,
+    *,
+    top_k: int = DEFAULT_TOP_K,
+    mass_threshold: float = DEFAULT_MASS_THRESHOLD,
+) -> HotKeyReport:
+    """Heavy-hitter report for one column of one relation."""
+    if not 0 <= column < stats.arity:
+        return HotKeyReport(relation=relation, column=column, total=0.0)
+    column_stats = stats.columns[column]
+    keys = hot_keys(
+        column_stats, values, top_k=top_k, mass_threshold=mass_threshold
+    )
+    return HotKeyReport(
+        relation=relation,
+        column=column,
+        total=float(column_stats.cms.total),
+        keys=keys,
+    )

@@ -1,0 +1,461 @@
+"""Skew-aware elastic resharding: hot-key reports, cost-gated planning,
+and the serve-side ElasticController.
+
+Three contracts anchor the subsystem:
+
+* **Determinism** — identical stats produce identical hot-key reports
+  and identical migrate/decline decisions (a fleet of replicas planning
+  from the same evidence must converge on the same layout);
+* **Cost gating** — a migration happens only when the priced payback
+  strictly beats the modeled shuffle bill, so a uniform workload (or a
+  one-run horizon) never pays for a reshard it cannot amortize;
+* **Transparency** — resharding a served engine between micro-batches
+  never changes query results, and the migration window is charged to
+  the serve clock like any other busy time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    LobsterEngine,
+    LobsterError,
+    ElasticController,
+    Request,
+    ReshardPlanner,
+    Scheduler,
+    ShardMap,
+    MaterializedView,
+    StreamScheduler,
+)
+from repro.dist.reshard import RelationLoad
+from repro.serve import MetricsRegistry
+from repro.stats.hotkeys import HotKey, hot_key_report, hot_keys
+from repro.stream import RelationStream, TumblingWindow
+from _helpers import TC_PROGRAM
+
+
+def hub_edges(n_spokes=30, n_random=60, seed=19):
+    """TC fact base where node 0 fans out to many spokes: key 0 is hot
+    under keyed-by-source ownership."""
+    rng = np.random.default_rng(seed)
+    edges = {(0, int(t)) for t in rng.integers(1, n_spokes, size=n_spokes)}
+    edges |= {
+        (int(a), int(b))
+        for a, b in zip(
+            rng.integers(0, n_spokes, size=n_random),
+            rng.integers(0, n_spokes, size=n_random),
+        )
+        if a != b
+    }
+    return sorted(edges)
+
+
+def relation_stats_for(values):
+    """RelationStats over a single-column table holding ``values``."""
+    from repro.provenance import registry
+    from repro.runtime.table import Table
+
+    provenance = registry.create("unit")
+    provenance.setup(np.zeros(0))
+    table = Table(
+        [np.asarray(values, dtype=np.int64)],
+        provenance.one_tags(len(values)),
+        len(values),
+    )
+    from repro.stats import RelationStats
+
+    return RelationStats.from_table(table)
+
+
+class TestHotKeyReport:
+    def test_reports_the_heavy_hitter_above_threshold(self):
+        values = np.array([7] * 60 + list(range(100, 140)), dtype=np.int64)
+        stats = relation_stats_for(values)
+        report = hot_key_report("edge", 0, stats, values, mass_threshold=0.25)
+        assert report
+        assert report.keys[0].value == 7
+        assert report.keys[0].fraction >= 0.25
+        # The long uniform tail stays out of the report.
+        assert all(key.value == 7 for key in report.keys)
+
+    def test_no_hot_keys_on_uniform_data(self):
+        values = np.arange(500, dtype=np.int64)
+        stats = relation_stats_for(values)
+        report = hot_key_report("edge", 0, stats, values)
+        assert not report
+        assert report.hot_fraction == 0.0
+
+    def test_deterministic_and_tie_breaks_toward_smaller_value(self):
+        values = np.array([3] * 40 + [9] * 40 + [1] * 10, dtype=np.int64)
+        stats = relation_stats_for(values)
+        first = hot_keys(stats.columns[0], values, mass_threshold=0.2)
+        second = hot_keys(stats.columns[0], values, mass_threshold=0.2)
+        assert first == second
+        assert [key.value for key in first] == [3, 9]
+
+    def test_top_k_truncates_after_ranking(self):
+        values = np.concatenate(
+            [np.full(30 - i, i, dtype=np.int64) for i in range(10)]
+        )
+        stats = relation_stats_for(values)
+        keys = hot_keys(
+            stats.columns[0], values, top_k=3, mass_threshold=0.01
+        )
+        assert len(keys) == 3
+        assert [key.value for key in keys] == [0, 1, 2]
+
+    def test_out_of_range_column_is_empty(self):
+        values = np.arange(50, dtype=np.int64)
+        stats = relation_stats_for(values)
+        assert not hot_key_report("edge", 5, stats, values)
+
+    def test_counts_never_undercount(self):
+        # CMS overestimates only: the reported count is >= the exact one.
+        rng = np.random.default_rng(31)
+        values = np.concatenate(
+            [np.full(200, 42, dtype=np.int64), rng.integers(0, 1000, 800)]
+        )
+        stats = relation_stats_for(values)
+        report = hot_key_report("edge", 0, stats, values, mass_threshold=0.1)
+        assert report.keys[0].value == 42
+        assert report.keys[0].count >= 200
+
+
+class TestReshardPlanner:
+    def skewed_workload(self, rows=10_000.0, hot_fraction=0.6):
+        hot = rows * hot_fraction
+        return {
+            "path": RelationLoad(
+                rows=rows,
+                key_column=0,
+                hot_keys=(HotKey(value=0, count=hot, fraction=hot_fraction),),
+            )
+        }
+
+    def test_modeled_units_sees_skew_only_under_keyed_maps(self):
+        planner = ReshardPlanner({"path": 0})
+        workload = self.skewed_workload()
+        uniform = planner.modeled_units(ShardMap(4), workload)
+        keyed = planner.modeled_units(
+            ShardMap(4, key_columns={"path": 0}), workload
+        )
+        split = planner.modeled_units(
+            ShardMap(
+                4,
+                key_columns={"path": 0},
+                splits={"path": {0: (0, 1, 2, 3)}},
+            ),
+            workload,
+        )
+        assert uniform == pytest.approx(2500.0)
+        assert keyed >= 6000.0  # the hot key lands whole on one shard
+        assert split == pytest.approx(2500.0)  # fan-out restores balance
+
+    def test_migrates_under_skew_with_amortizing_horizon(self):
+        planner = ReshardPlanner({"path": 0}, max_shards=8, horizon_runs=16)
+        plan = planner.plan(
+            ShardMap(2, key_columns={"path": 0}),
+            self.skewed_workload(),
+            busy_s=0.05,
+        )
+        assert plan.migrate
+        assert plan.target_shards > 2
+        assert plan.splits >= 1
+        assert plan.payback_s > plan.migration_s
+        assert "payback" in plan.reason
+
+    def test_declines_with_no_amortization_horizon(self):
+        planner = ReshardPlanner({"path": 0}, max_shards=8)
+        plan = planner.plan(
+            ShardMap(2, key_columns={"path": 0}),
+            self.skewed_workload(),
+            busy_s=0.05,
+            horizon_runs=0,
+        )
+        assert not plan.migrate
+        assert plan.target is not None
+        assert plan.target.n_shards == 2  # status quo kept
+        assert plan.payback_s <= plan.migration_s
+
+    def test_uniform_workload_is_already_balanced(self):
+        planner = ReshardPlanner(max_shards=8, horizon_runs=100)
+        workload = {"path": RelationLoad(rows=10_000.0)}
+        plan = planner.plan(ShardMap(4), workload, busy_s=1.0)
+        # Row-hash routing spreads a keyless workload evenly at any S;
+        # growing only helps via 1/S, so S=8 wins the unit comparison —
+        # but without observed skew the planner must still price it.
+        assert plan.units_before > 0
+        if plan.migrate:
+            # growth is allowed when amortized; shrink never triggers
+            assert plan.target_shards >= 4
+        second = planner.plan(ShardMap(4), workload, busy_s=1.0)
+        assert second.migrate == plan.migrate
+        assert second.target_shards == plan.target_shards
+
+    def test_plan_is_deterministic(self):
+        planner = ReshardPlanner({"path": 0}, max_shards=6, horizon_runs=8)
+        workload = self.skewed_workload()
+        current = ShardMap(3, key_columns={"path": 0})
+        first = planner.plan(current, workload, busy_s=0.01)
+        second = planner.plan(current, workload, busy_s=0.01)
+        assert first.reason == second.reason
+        assert first.target_shards == second.target_shards
+        assert first.target.splits == second.target.splits
+
+    def test_migration_rows_scale_with_layout_distance(self):
+        planner = ReshardPlanner({"path": 0})
+        workload = self.skewed_workload(rows=1000.0)
+        near = planner._migration_rows(
+            ShardMap(4, key_columns={"path": 0}),
+            ShardMap(5, key_columns={"path": 0}),
+            workload,
+        )
+        far = planner._migration_rows(
+            ShardMap(1, key_columns={"path": 0}),
+            ShardMap(8, key_columns={"path": 0}),
+            workload,
+        )
+        assert 0.0 < near < far <= 1000.0
+
+    def test_migration_seconds_follow_exchange_model(self):
+        planner = ReshardPlanner(
+            row_bytes=24.0,
+            exchange_bandwidth_bytes_per_s=1e9,
+            exchange_latency_s=1e-6,
+        )
+        assert planner.migration_seconds(0.0, 4) == 0.0
+        cost = planner.migration_seconds(1e6, 4)
+        assert cost == pytest.approx(4e-6 + 24e6 / 1e9)
+
+    def test_bad_shard_band_rejected(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            ReshardPlanner(min_shards=0)
+        with pytest.raises(ValueError, match="min_shards"):
+            ReshardPlanner(min_shards=4, max_shards=2)
+
+
+class TestEngineReshard:
+    def test_reshard_resizes_devices_and_preserves_results(self):
+        edges = hub_edges()
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        db = engine.create_database()
+        db.add_facts("edge", edges)
+        engine.run(db)
+        before = db.result("path").rows()
+
+        engine.reshard(
+            ShardMap(
+                4,
+                key_columns={"path": 0},
+                splits={"path": {0: (0, 1, 2, 3)}},
+            )
+        )
+        assert engine.shards == 4
+        assert len(engine.shard_devices) == 4
+        db2 = engine.create_database()
+        db2.add_facts("edge", edges)
+        result = engine.run(db2)
+        assert result.shards == 4
+        assert db2.result("path").rows() == before
+
+        engine.reshard(ShardMap(1))
+        assert engine.shards == 1
+        db3 = engine.create_database()
+        db3.add_facts("edge", edges)
+        engine.run(db3)
+        assert db3.result("path").rows() == before
+
+    def test_invalid_reshard_rejected(self):
+        engine = LobsterEngine(TC_PROGRAM, shards=2)
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+    def test_shard_map_engine_validation(self):
+        with pytest.raises(LobsterError, match="shard"):
+            LobsterEngine(TC_PROGRAM, shards=3, shard_map=ShardMap(2))
+
+
+class TestElasticController:
+    def make_elastic(self, horizon_runs=16, **kwargs):
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        controller = ElasticController(
+            engine,
+            max_shards=8,
+            horizon_runs=horizon_runs,
+            mass_threshold=0.1,
+            **kwargs,
+        )
+        return engine, controller
+
+    def run_once(self, engine):
+        db = engine.create_database()
+        db.add_facts("edge", hub_edges())
+        result = engine.run(db)
+        return db, result
+
+    def test_manages_only_its_engine(self):
+        engine, controller = self.make_elastic()
+        other = LobsterEngine(TC_PROGRAM, shards=2)
+        assert controller.manages(engine)
+        assert not controller.manages(other)
+
+    def test_no_plan_before_observations(self):
+        _, controller = self.make_elastic()
+        assert controller.maybe_reshard() is None
+
+    def test_observe_then_migrate_under_skew(self):
+        engine, controller = self.make_elastic()
+        db, result = self.run_once(engine)
+        controller.observe(db, result)
+        plan = controller.maybe_reshard()
+        assert plan is not None and plan.migrate
+        assert engine.shards == plan.target_shards > 2
+        assert controller.metrics.counter("reshard.migrations").value == 1
+        assert controller.metrics.gauge("reshard.shards").value == engine.shards
+        # Post-migration results are unchanged.
+        db2, _ = self.run_once(engine)
+        assert db2.result("path").rows() == db.result("path").rows()
+
+    def test_cooldown_blocks_back_to_back_migrations(self):
+        engine, controller = self.make_elastic(cooldown_runs=3)
+        db, result = self.run_once(engine)
+        controller.observe(db, result)
+        assert controller.maybe_reshard() is not None  # first is free
+        db2, result2 = self.run_once(engine)
+        controller.observe(db2, result2)
+        assert controller.maybe_reshard() is None  # 1 of 3 runs seen
+        controller.observe(db2, result2)
+        controller.observe(db2, result2)
+        # Cooldown satisfied: planning resumes (decision may be either).
+        plan = controller.maybe_reshard()
+        assert plan is not None or controller.metrics.counter(
+            "reshard.plans"
+        ).value >= 1
+
+    def test_short_horizon_declines_and_counts_it(self):
+        engine, controller = self.make_elastic(horizon_runs=0)
+        db, result = self.run_once(engine)
+        controller.observe(db, result)
+        plan = controller.maybe_reshard()
+        assert plan is not None and not plan.migrate
+        assert engine.shards == 2
+        assert controller.metrics.counter("reshard.declined").value == 1
+        assert controller.metrics.counter("reshard.migrations").value == 0
+
+
+class TestSchedulerIntegration:
+    def requests(self, engine, n=6):
+        out = []
+        for i in range(n):
+            db = engine.create_database()
+            db.add_facts("edge", hub_edges())
+            out.append(
+                Request(engine, db, slo="batch", arrival_s=i * 1e-4)
+            )
+        return out
+
+    def test_unmanaged_sharded_engine_still_rejected(self):
+        scheduler = Scheduler(n_devices=2)
+        engine = LobsterEngine(TC_PROGRAM, shards=2)
+        db = engine.create_database()
+        db.add_facts("edge", [(0, 1)])
+        with pytest.raises(LobsterError, match="Elastic"):
+            scheduler.submit(Request(engine, db, slo="batch", arrival_s=0.0))
+
+    def test_elastic_engine_served_and_resharded_mid_drain(self):
+        metrics = MetricsRegistry()
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        controller = ElasticController(
+            engine,
+            max_shards=8,
+            horizon_runs=16,
+            mass_threshold=0.1,
+            metrics=metrics,
+        )
+        scheduler = Scheduler(n_devices=2, metrics=metrics, elastic=controller)
+        requests = self.requests(engine)
+        report = scheduler.run(requests)
+        completed = [o for o in report.outcomes if o.status == "completed"]
+        assert len(completed) == 6
+        assert metrics.counter("reshard.migrations").value >= 1
+        assert engine.shards > 2
+        # Every request's database holds the same rows: the migration
+        # happened between batches and never corrupted a result.
+        results = {
+            tuple(request.database.result("path").rows())
+            for request in requests
+        }
+        assert len(results) == 1
+
+    def test_migration_charges_the_serve_clock(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        controller = ElasticController(
+            engine, max_shards=8, horizon_runs=16, mass_threshold=0.1
+        )
+        elastic_scheduler = Scheduler(n_devices=2, elastic=controller)
+        elastic_report = elastic_scheduler.run(self.requests(engine))
+        migrated = [p for p in controller.plans if p.migrate]
+        assert migrated
+        # The drain's makespan covers the migration window: the horizon
+        # the scheduler charged includes plan.migration_s.
+        last = max(o.finish_s for o in elastic_report.outcomes)
+        assert elastic_report.makespan_s >= last
+
+    def test_mixed_traffic_non_elastic_engines_unaffected(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        controller = ElasticController(
+            engine, max_shards=4, horizon_runs=16, mass_threshold=0.1
+        )
+        plain = LobsterEngine(TC_PROGRAM)
+        scheduler = Scheduler(n_devices=2, elastic=controller)
+        plain_db = plain.create_database()
+        plain_db.add_facts("edge", [(0, 1), (1, 2)])
+        requests = self.requests(engine, n=3) + [
+            Request(plain, plain_db, slo="batch", arrival_s=0.0)
+        ]
+        report = scheduler.run(requests)
+        assert sum(1 for o in report.outcomes if o.status == "completed") == 4
+        assert sorted(plain_db.result("path").rows()) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestStreamSchedulerSeam:
+    def test_elastic_probe_runs_between_ticks(self):
+        engine = LobsterEngine(
+            TC_PROGRAM, shard_map=ShardMap(2, key_columns={"path": 0})
+        )
+        controller = ElasticController(
+            engine, max_shards=8, horizon_runs=16, mass_threshold=0.1
+        )
+        # Pre-load observations as a request drain would have.
+        db = engine.create_database()
+        db.add_facts("edge", hub_edges())
+        result = engine.run(db)
+        controller.observe(db, result)
+
+        scheduler = StreamScheduler(n_devices=1, elastic=controller)
+        view_engine = LobsterEngine(TC_PROGRAM)
+        view = MaterializedView(view_engine, name="tc")
+        window = TumblingWindow(
+            RelationStream("edge", [(i, i + 1) for i in range(10)], 2, seed=3),
+            3,
+        )
+        scheduler.register(view, window, period_s=1e-4)
+        scheduler.run(4)
+        # The tick loop probed the controller, which migrated its engine
+        # (the stream's own single-device view engine is untouched).
+        assert controller.metrics.counter("reshard.plans").value >= 1
+        assert engine.shards > 2
+        assert not view_engine._use_sharded()
